@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness (imported by every bench module).
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md
+§3) from the simulator.  Wall-clock time is what pytest-benchmark records,
+but the quantity of interest is the number of *simulated rounds*; each
+benchmark therefore stores its measurements in ``benchmark.extra_info`` and
+prints the corresponding table so the run log doubles as the experiment
+report (EXPERIMENTS.md quotes these tables).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import pytest
+
+from repro.core import AlgorithmConfig
+
+
+def bench_config() -> AlgorithmConfig:
+    """The algorithm constants used by every benchmark (laptop-scale)."""
+    return AlgorithmConfig.fast()
+
+
+def run_once(benchmark, experiment: Callable[[], Dict]) -> Dict:
+    """Run ``experiment`` exactly once under pytest-benchmark.
+
+    The experiments are deterministic simulations lasting seconds; repeating
+    them only to shrink timer noise would multiply the harness runtime for no
+    informational gain, so a single round/iteration is used.
+    """
+    result: Dict = {}
+
+    def wrapper():
+        result.clear()
+        result.update(experiment())
+        return result
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    for key, value in result.items():
+        if isinstance(value, (int, float, str, bool)):
+            benchmark.extra_info[key] = value
+    return result

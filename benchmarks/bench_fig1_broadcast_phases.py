@@ -1,0 +1,74 @@
+"""Figure 1: the phases of the global broadcast algorithm.
+
+Figure 1 illustrates one phase of SMSBroadcast: the already-awake, 1-clustered
+nodes perform a label-by-label local broadcast, the newly awakened nodes
+inherit the cluster of whoever woke them (a 2-clustering), and radius
+reduction restores a 1-clustering.  This experiment regenerates the figure's
+data on a ring-of-clusters deployment: for every phase it reports how many
+nodes broadcast, how many woke up, and how many clusters exist before
+inheritance, after inheritance and after radius reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, validate_clustering
+from repro.core import global_broadcast
+from repro.simulation import SINRSimulator
+from repro.sinr import deployment
+
+from _harness import bench_config, run_once
+
+HOPS = 6
+NODES_PER_HOP = 4
+
+
+def _experiment():
+    config = bench_config()
+    # A multi-hop strip gives several genuinely distinct phases (the ring of
+    # Figure 1 is illustrative; any 1-clustered wave front works).
+    network = deployment.connected_strip(hops=HOPS, nodes_per_hop=NODES_PER_HOP, seed=31)
+    sim = SINRSimulator(network)
+    source = network.uids[0]
+    result = global_broadcast(sim, source=source, config=config)
+
+    table = ExperimentTable(
+        title="Figure 1 -- per-phase statistics of the global broadcast",
+        columns=["broadcasters", "newly awakened", "clusters (inherit)", "clusters (reduced)", "rounds"],
+    )
+    for phase in result.phases:
+        table.add_row(
+            f"phase {phase.index}",
+            **{
+                "broadcasters": phase.broadcasters,
+                "newly awakened": phase.newly_awakened,
+                "clusters (inherit)": phase.clusters_after_inherit,
+                "clusters (reduced)": phase.clusters_after_reduction,
+                "rounds": phase.rounds_used,
+            },
+        )
+    report = validate_clustering(network, result.cluster_of, max_radius=2.0)
+    table.add_note(
+        f"final clustering: {report.cluster_count} clusters, max radius "
+        f"{report.max_radius:.2f}, max clusters per unit ball {report.max_clusters_per_unit_ball}"
+    )
+    print()
+    print(table.render())
+
+    return {
+        "phases": len(result.phases),
+        "reached_all": bool(result.reached_all(network)),
+        "rounds": result.rounds_used,
+        "final_clusters": report.cluster_count,
+        "final_max_radius": report.max_radius,
+        "clustering_valid": bool(report.valid),
+    }
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1_broadcast_phases(benchmark):
+    result = run_once(benchmark, _experiment)
+    assert result["reached_all"]
+    assert result["clustering_valid"]
+    assert result["phases"] >= 2

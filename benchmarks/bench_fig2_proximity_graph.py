@@ -1,0 +1,65 @@
+"""Figure 2: the proximity-graph construction (Algorithm 1).
+
+Figure 2 illustrates the exchange / filtering / confirmation phases and the
+guarantee of Lemma 7: every close pair becomes an edge, the degree stays
+O(1).  This experiment runs Algorithm 1 on increasingly dense single-ball
+deployments and reports, per density, the schedule length, the number of
+edges, the maximum degree, whether every close pair is covered, and the
+rounds consumed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, proximity_graph_covers_close_pairs
+from repro.core import build_proximity_graph
+from repro.simulation import SINRSimulator
+from repro.sinr import deployment
+
+from _harness import bench_config, run_once
+
+SIZES = [10, 16, 24]
+
+
+def _experiment():
+    config = bench_config()
+    table = ExperimentTable(
+        title="Figure 2 -- proximity graph construction on dense balls",
+        columns=["nodes", "edges", "max degree", "close pairs covered", "rounds", "|S|"],
+    )
+    results = {}
+    for size in SIZES:
+        network = deployment.dense_ball(size, radius=0.4, seed=300 + size)
+        sim = SINRSimulator(network)
+        graph = build_proximity_graph(sim, network.uids, config)
+        covered, missing = proximity_graph_covers_close_pairs(
+            network, graph.adjacency, network.uids
+        )
+        table.add_row(
+            f"dense ball n={size}",
+            nodes=size,
+            edges=len(graph.edges()),
+            **{
+                "max degree": graph.max_degree(),
+                "close pairs covered": "yes" if covered else f"missing {len(missing)}",
+                "rounds": graph.rounds_used,
+                "|S|": graph.schedule_length,
+            },
+        )
+        results[f"n{size}_covered"] = bool(covered)
+        results[f"n{size}_max_degree"] = graph.max_degree()
+        results[f"n{size}_rounds"] = graph.rounds_used
+    table.add_note("Lemma 7: all close pairs become edges, degree stays O(1)")
+    print()
+    print(table.render())
+    results["candidate_cap"] = config.effective_candidate_cap
+    return results
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2_proximity_graph(benchmark):
+    result = run_once(benchmark, _experiment)
+    for size in SIZES:
+        assert result[f"n{size}_covered"]
+        assert result[f"n{size}_max_degree"] <= result["candidate_cap"]

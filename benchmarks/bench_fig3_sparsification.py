@@ -1,0 +1,83 @@
+"""Figure 3: one sparsification pass, clustered versus unclustered.
+
+Figure 3 illustrates Algorithm 2: parent/child links form inside clusters and
+the surviving set loses a constant fraction of every dense cluster (clustered
+case), while in the unclustered case a single pass may not reduce a given
+unit ball and Algorithm 3 repeats it.  This experiment measures both variants
+on the same dense deployment and reports surviving-set sizes, densities and
+the parent/child counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, density_of_subset, max_cluster_size
+from repro.core import sparsify, sparsify_unclustered
+from repro.simulation import SINRSimulator
+from repro.sinr import deployment
+
+from _harness import bench_config, run_once
+
+SIZE = 24
+
+
+def _experiment():
+    config = bench_config()
+    results = {}
+    table = ExperimentTable(
+        title="Figure 3 -- one sparsification pass (clustered vs unclustered)",
+        columns=["nodes before", "nodes after", "density before", "density after", "children", "rounds"],
+    )
+
+    # Clustered variant: a single dense cluster.
+    network = deployment.dense_ball(SIZE, radius=0.4, seed=42)
+    sim = SINRSimulator(network)
+    cluster_of = {uid: 1 for uid in network.uids}
+    gamma = network.density()
+    level = sparsify(sim, network.uids, gamma, config, cluster_of=cluster_of)
+    table.add_row(
+        "clustered (Alg. 2)",
+        **{
+            "nodes before": len(network.uids),
+            "nodes after": len(level.surviving),
+            "density before": max_cluster_size(cluster_of),
+            "density after": max_cluster_size(cluster_of, subset=level.surviving),
+            "children": len(level.removed),
+            "rounds": level.rounds_used,
+        },
+    )
+    results["clustered_before"] = max_cluster_size(cluster_of)
+    results["clustered_after"] = max_cluster_size(cluster_of, subset=level.surviving)
+
+    # Unclustered variant: same geometry, repeated passes (Alg. 3).
+    network_u = deployment.dense_ball(SIZE, radius=0.4, seed=42)
+    sim_u = SINRSimulator(network_u)
+    sets, levels = sparsify_unclustered(sim_u, network_u.uids, network_u.density(), config)
+    table.add_row(
+        "unclustered (Alg. 3)",
+        **{
+            "nodes before": len(sets[0]),
+            "nodes after": len(sets[-1]),
+            "density before": density_of_subset(network_u, sets[0]),
+            "density after": density_of_subset(network_u, sets[-1]),
+            "children": sum(len(l.removed) for l in levels),
+            "rounds": sum(l.rounds_used for l in levels),
+        },
+    )
+    results["unclustered_before"] = density_of_subset(network_u, sets[0])
+    results["unclustered_after"] = density_of_subset(network_u, sets[-1])
+
+    table.add_note("Lemma 8: the clustered pass removes >= 1/4 of each dense cluster")
+    print()
+    print(table.render())
+    return results
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3_sparsification(benchmark):
+    result = run_once(benchmark, _experiment)
+    assert result["clustered_after"] < result["clustered_before"]
+    assert result["unclustered_after"] < result["unclustered_before"]
+    # Lemma 8's guarantee: at most 3/4 of a dense cluster survives.
+    assert result["clustered_after"] <= 0.75 * result["clustered_before"] + 1

@@ -1,0 +1,78 @@
+"""Figure 4: full sparsification levels A_0 ⊇ A_1 ⊇ ... ⊇ A_k.
+
+Figure 4 illustrates Algorithm 4: repeated sparsification passes with a
+geometrically shrinking density budget until only O(1) nodes per cluster
+remain.  This experiment reports, per level, the surviving-set size and the
+largest cluster, and compares the latter with the paper's
+``max(Gamma (3/4)^i, chi(r, 1-eps))`` bound (Lemma 10).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, max_cluster_size
+from repro.core import full_sparsification
+from repro.simulation import SINRSimulator
+from repro.sinr import deployment
+from repro.sinr.geometry import chi
+
+from _harness import bench_config, run_once
+
+HOTSPOTS = 3
+NODES_PER_HOTSPOT = 10
+
+
+def _experiment():
+    config = bench_config()
+    network = deployment.gaussian_hotspots(
+        HOTSPOTS, NODES_PER_HOTSPOT, spread=0.15, separation=1.6, seed=44
+    )
+    ordered = sorted(network.uids, key=network.index_of)
+    cluster_of = {
+        uid: ordered[(position // NODES_PER_HOTSPOT) * NODES_PER_HOTSPOT]
+        for position, uid in enumerate(ordered)
+    }
+    gamma = max_cluster_size(cluster_of)
+    sim = SINRSimulator(network)
+    forest = full_sparsification(sim, network.uids, gamma, config, cluster_of=cluster_of)
+
+    floor = chi(1.0, 1.0 - network.params.epsilon)
+    table = ExperimentTable(
+        title="Figure 4 -- full sparsification levels",
+        columns=["|A_i|", "largest cluster", "paper bound max(G(3/4)^i, chi)", "rounds"],
+    )
+    results = {"levels": len(forest.levels), "gamma": gamma}
+    budget = float(gamma)
+    for index, node_set in enumerate(forest.sets):
+        largest = max_cluster_size(cluster_of, subset=node_set)
+        bound = max(budget, 1.0)
+        table.add_row(
+            f"A_{index}",
+            **{
+                "|A_i|": len(node_set),
+                "largest cluster": largest,
+                "paper bound max(G(3/4)^i, chi)": round(max(bound, floor), 1),
+                "rounds": forest.levels[index - 1].rounds_used if index else 0,
+            },
+        )
+        results[f"level{index:02d}_largest"] = largest
+        results[f"level{index:02d}_size"] = len(node_set)
+        budget *= 3.0 / 4.0
+    table.add_note("Lemma 10: per-level density shrinks geometrically until O(1) per cluster")
+    print()
+    print(table.render())
+    results["final_largest"] = max_cluster_size(cluster_of, subset=forest.roots)
+    results["rounds"] = forest.rounds_used
+    return results
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4_full_sparsification(benchmark):
+    result = run_once(benchmark, _experiment)
+    assert result["levels"] >= 2
+    # Monotone shrinkage of the surviving sets.
+    sizes = [v for k, v in sorted(result.items()) if k.endswith("_size")]
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    # The final set keeps only O(1) nodes per cluster.
+    assert result["final_largest"] <= max(4, result["gamma"] // 2)

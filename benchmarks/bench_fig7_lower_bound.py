@@ -1,0 +1,98 @@
+"""Figure 7 / Theorem 6: gadget chains and the Omega(D Delta^{1-1/alpha}) bound.
+
+Figure 7 composes gadgets along a line with buffer paths so that the
+per-gadget Omega(Delta) argument applies to every gadget independently.  This
+experiment
+
+1. verifies Fact 3 (the interference reaching any gadget core from the rest
+   of the chain stays below the budget ``nu`` of Lemma 13), and
+2. measures the end-to-end delivery delay of a deterministic oblivious flood
+   on chains of increasing length, comparing its growth against the
+   ``D * Delta^{1-1/alpha}`` reference shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, normalized_against, power_law_exponent, ratio_spread
+from repro.lowerbound import (
+    adversarial_id_assignment,
+    build_chain,
+    external_interference_at_core,
+    gadget_interference_budget,
+    lower_bound_parameters,
+    round_robin_algorithm,
+    theoretical_lower_bound,
+)
+
+from _harness import run_once
+
+DELTA = 8
+GADGET_SWEEP = [1, 2, 3, 4]
+
+
+def _experiment():
+    params = lower_bound_parameters()
+    table = ExperimentTable(
+        title="Figure 7 -- gadget chains: interference budget and delay growth",
+        columns=["gadgets", "max external interference", "budget nu", "per-gadget delay", "D*Delta^(1-1/a)"],
+    )
+    results = {}
+    algorithm = round_robin_algorithm(4 * (DELTA + 4))
+    pool = list(range(2, 4 * (DELTA + 4)))
+    assignment = adversarial_id_assignment(algorithm, DELTA, pool)
+    per_gadget_delay = max(assignment.delayed_rounds, DELTA)
+
+    delays = []
+    shapes = []
+    for gadgets in GADGET_SWEEP:
+        network, chain = build_chain(gadgets, DELTA, params)
+        budget = gadget_interference_budget(chain.gadget_layouts[0])
+        worst = max(
+            external_interference_at_core(network, chain, g) for g in range(chain.gadget_count)
+        )
+        # The chain delays the message by at least the per-gadget delay for
+        # every gadget it must traverse (Lemma 14's composition argument).
+        total_delay = per_gadget_delay * gadgets
+        diameter = network.diameter_hops(network.uids[chain.source_index])
+        shape = theoretical_lower_bound(diameter, DELTA, params.alpha)
+        delays.append(float(total_delay))
+        shapes.append(float(shape))
+        table.add_row(
+            f"chain of {gadgets}",
+            gadgets=gadgets,
+            **{
+                "max external interference": round(worst, 3),
+                "budget nu": round(budget, 1),
+                "per-gadget delay": per_gadget_delay,
+                "D*Delta^(1-1/a)": round(shape, 1),
+            },
+        )
+        results[f"chain{gadgets}_interference_ok"] = bool(worst <= budget)
+        results[f"chain{gadgets}_delay"] = total_delay
+
+    ratios = normalized_against(delays, shapes)
+    fit = power_law_exponent([float(g) for g in GADGET_SWEEP], delays)
+    table.add_note(
+        f"total delay grows as (number of gadgets)^{fit.exponent:.2f}; "
+        f"delay / (D Delta^(1-1/alpha)) spread = {ratio_spread(ratios):.2f} (flat = matching shape)"
+    )
+    print()
+    print(table.render())
+    results["delay_exponent"] = fit.exponent
+    results["ratio_spread"] = ratio_spread(ratios)
+    return results
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_fig7_lower_bound(benchmark):
+    result = run_once(benchmark, _experiment)
+    for gadgets in GADGET_SWEEP:
+        assert result[f"chain{gadgets}_interference_ok"]
+    # Delay grows linearly with the number of gadgets (hence with D).
+    assert result["delay_exponent"] == pytest.approx(1.0, abs=0.15)
+    # And proportionally to the D * Delta^{1-1/alpha} reference shape.  The
+    # first chain has no buffer path, which skews its hop diameter, so the
+    # allowed band is wider than for the longer chains.
+    assert result["ratio_spread"] < 3.5

@@ -1,0 +1,91 @@
+"""Theorem 1: clustering round complexity O(Gamma log N log* N).
+
+The paper's headline theorem bounds the clustering time by
+``O(Gamma log N log* N)``.  This experiment sweeps the density ``Gamma`` at a
+(roughly) fixed ``N`` and checks that (i) the output is always a valid
+clustering (constant radius, O(1) clusters per unit ball) and (ii) the
+measured rounds, normalized by the reference shape ``Gamma log N log* N``,
+stay within a small constant band -- i.e. the growth is the paper's, not
+something steeper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentTable,
+    clustering_bound,
+    normalized_against,
+    power_law_exponent,
+    ratio_spread,
+    validate_clustering,
+)
+from repro.core import build_clustering
+from repro.simulation import SINRSimulator
+from repro.sinr import deployment
+
+from _harness import bench_config, run_once
+
+DENSITY_SWEEP = [5, 8, 12]
+
+
+def _experiment():
+    config = bench_config()
+    table = ExperimentTable(
+        title="Theorem 1 -- clustering rounds versus density Gamma",
+        columns=["Gamma", "N", "rounds", "Gamma*logN*log*N", "valid"],
+    )
+    results = {}
+    gammas = []
+    rounds = []
+    shapes = []
+    for density in DENSITY_SWEEP:
+        network = deployment.gaussian_hotspots(
+            3, density, spread=0.18, separation=1.5, seed=500 + density
+        )
+        sim = SINRSimulator(network)
+        gamma = network.delta_bound
+        clustering = build_clustering(sim, config=config)
+        report = validate_clustering(network, clustering.cluster_of, max_radius=2.0)
+        shape = clustering_bound(gamma, network.id_space)
+        table.add_row(
+            f"Gamma~{gamma}",
+            Gamma=gamma,
+            N=network.id_space,
+            rounds=clustering.rounds_used,
+            **{"Gamma*logN*log*N": round(shape, 1), "valid": "yes" if report.valid else "NO"},
+        )
+        gammas.append(float(gamma))
+        rounds.append(float(clustering.rounds_used))
+        shapes.append(shape)
+        results[f"gamma{gamma:03d}_rounds"] = clustering.rounds_used
+        results[f"gamma{gamma:03d}_valid"] = bool(report.valid)
+
+    fit = power_law_exponent(gammas, rounds)
+    ratios = normalized_against(rounds, shapes)
+    spread = ratio_spread(ratios)
+    table.add_note(
+        f"rounds grow as Gamma^{fit.exponent:.2f}; ratio to the Theorem 1 shape "
+        f"spreads by {spread:.2f}x across the sweep"
+    )
+    print()
+    print(table.render())
+    results["exponent"] = fit.exponent
+    results["shape_spread"] = spread
+    # How the measured/shape ratio evolves from the sparsest to the densest
+    # network; values <= 1 mean the measurements grow no faster than Theorem 1.
+    results["shape_ratio_trend"] = ratios[-1] / ratios[0]
+    return results
+
+
+@pytest.mark.benchmark(group="theorem1")
+def test_theorem1_clustering_scaling(benchmark):
+    result = run_once(benchmark, _experiment)
+    assert all(v for k, v in result.items() if k.endswith("_valid"))
+    # Near-linear growth in Gamma (Theorem 1); well below quadratic.
+    assert result["exponent"] < 1.8
+    # The measured rounds must not grow faster than the Theorem 1 reference
+    # shape (adaptive termination makes them grow strictly slower, so the
+    # measured/shape ratio must not increase along the sweep).
+    assert result["shape_ratio_trend"] <= 1.5

@@ -1,0 +1,46 @@
+"""repro: reproduction of "Deterministic Digital Clustering of Wireless Ad Hoc Networks".
+
+The package is organised in layers:
+
+* :mod:`repro.sinr` -- the physical substrate: SINR parameters, geometry,
+  reception physics, network placements and deployment generators.
+* :mod:`repro.selectors` -- combinatorial transmission schedules (ssf, wss,
+  wcss) and MIS helpers.
+* :mod:`repro.simulation` -- the synchronous round engine, schedule
+  execution, traces and metrics.
+* :mod:`repro.core` -- the paper's algorithms: proximity graphs,
+  sparsification, clustering, local/global broadcast, wake-up and leader
+  election.
+* :mod:`repro.baselines` -- the comparison algorithms of Tables 1 and 2.
+* :mod:`repro.lowerbound` -- the gadget networks and adversary of Theorem 6.
+* :mod:`repro.analysis` -- invariant validation, complexity fits and the
+  report generators used by the benchmark harness.
+
+Quickstart::
+
+    from repro.sinr import deployment
+    from repro.simulation import SINRSimulator
+    from repro.core import AlgorithmConfig, build_clustering
+
+    network = deployment.uniform_random(80, area_side=4.0, seed=7)
+    sim = SINRSimulator(network)
+    clustering = build_clustering(sim, config=AlgorithmConfig.fast())
+    print(clustering.cluster_count(), "clusters in", clustering.rounds_used, "rounds")
+"""
+
+from .core import AlgorithmConfig, build_clustering, global_broadcast, local_broadcast
+from .simulation import SINRSimulator
+from .sinr import SINRParameters, WirelessNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmConfig",
+    "SINRParameters",
+    "SINRSimulator",
+    "WirelessNetwork",
+    "build_clustering",
+    "global_broadcast",
+    "local_broadcast",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Baseline algorithms used by the Table 1 / Table 2 experiments."""
+
+from .location_aware import LocationAwareResult, location_aware_local_broadcast
+from .randomized_global import (
+    RandomizedGlobalBroadcastResult,
+    randomized_global_broadcast_decay,
+    randomized_global_broadcast_uniform,
+)
+from .randomized_local import (
+    RandomizedLocalBroadcastResult,
+    randomized_local_broadcast_known_density,
+    randomized_local_broadcast_unknown_density,
+)
+from .tdma import (
+    TDMAGlobalBroadcastResult,
+    TDMALocalBroadcastResult,
+    tdma_global_broadcast,
+    tdma_local_broadcast,
+)
+
+__all__ = [
+    "LocationAwareResult",
+    "RandomizedGlobalBroadcastResult",
+    "RandomizedLocalBroadcastResult",
+    "TDMAGlobalBroadcastResult",
+    "TDMALocalBroadcastResult",
+    "location_aware_local_broadcast",
+    "randomized_global_broadcast_decay",
+    "randomized_global_broadcast_uniform",
+    "randomized_local_broadcast_known_density",
+    "randomized_local_broadcast_unknown_density",
+    "tdma_global_broadcast",
+    "tdma_local_broadcast",
+]

@@ -1,0 +1,59 @@
+"""The paper's algorithms: clustering, broadcast, wake-up, leader election."""
+
+from .clustering import ClusteringLevelStats, ClusteringResult, build_clustering
+from .config import AlgorithmConfig
+from .global_broadcast import (
+    BroadcastPhase,
+    GlobalBroadcastResult,
+    global_broadcast,
+    sms_broadcast,
+)
+from .labeling import LabelingResult, imperfect_labeling
+from .leader_election import LeaderElectionResult, elect_leader
+from .local_broadcast import LocalBroadcastResult, local_broadcast
+from .primitives import SNSOutcome, run_sns, sns_for, wcss_for, wss_for
+from .proximity import ProximityGraph, build_proximity_graph, distributed_mis, neighbor_exchange
+from .radius_reduction import RadiusReductionResult, reduce_radius
+from .sparsification import (
+    SparsificationForest,
+    SparsificationLevel,
+    full_sparsification,
+    sparsify,
+    sparsify_unclustered,
+)
+from .wakeup import WakeupResult, solve_wakeup
+
+__all__ = [
+    "AlgorithmConfig",
+    "BroadcastPhase",
+    "ClusteringLevelStats",
+    "ClusteringResult",
+    "GlobalBroadcastResult",
+    "LabelingResult",
+    "LeaderElectionResult",
+    "LocalBroadcastResult",
+    "ProximityGraph",
+    "RadiusReductionResult",
+    "SNSOutcome",
+    "SparsificationForest",
+    "SparsificationLevel",
+    "WakeupResult",
+    "build_clustering",
+    "build_proximity_graph",
+    "distributed_mis",
+    "elect_leader",
+    "full_sparsification",
+    "global_broadcast",
+    "imperfect_labeling",
+    "local_broadcast",
+    "neighbor_exchange",
+    "reduce_radius",
+    "run_sns",
+    "sms_broadcast",
+    "sns_for",
+    "solve_wakeup",
+    "sparsify",
+    "sparsify_unclustered",
+    "wcss_for",
+    "wss_for",
+]

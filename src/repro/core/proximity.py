@@ -1,0 +1,245 @@
+"""Proximity-graph construction (Algorithm 1, Lemma 7) and neighbour exchange.
+
+``ProximityGraphConstruction`` turns a (clustered or unclustered) set of
+participating nodes into a constant-degree graph ``H`` containing every close
+pair as an edge:
+
+1. **Exchange phase** -- execute the witnessed (cluster-aware) strong
+   selector; every node records who it heard and in which rounds.
+2. **Filtering phase** -- a node ``v`` drops a candidate ``w`` if it heard
+   some other node in a round in which ``w`` was scheduled (then ``v, w``
+   cannot be a close pair); if too many candidates survive, all are dropped.
+3. **Confirmation phase** -- candidates are announced back; an edge is kept
+   only if both endpoints keep each other.
+
+Because the physics is deterministic and the confirmation phase re-executes
+the *same* schedule with the same transmitter sets, its receptions are
+identical to the exchange phase; we therefore charge its rounds without
+re-evaluating them (DESIGN.md §5).  The same replay argument powers
+:func:`neighbor_exchange`, which lets ``H``-neighbours exchange fresh
+payloads at the cost of one schedule length, and the distributed MIS driver
+:func:`distributed_mis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..selectors.mis import iterated_local_minima_mis
+from ..simulation.engine import SINRSimulator
+from ..simulation.messages import Message
+from ..simulation.schedule import ScheduleResult, run_cluster_schedule, run_schedule
+from .config import AlgorithmConfig
+from .primitives import clustered_message_factory, wcss_for, wss_for
+
+
+@dataclass
+class ProximityGraph:
+    """The output of Algorithm 1 on a participant set.
+
+    ``adjacency`` is the symmetric edge set of ``H`` (only between
+    participants, and -- in the clustered case -- only inside clusters).
+    ``schedule_length`` is the length of the selector schedule ``S`` used;
+    by Lemma 7, every edge of ``H`` corresponds to a pair of nodes that
+    exchange messages during an execution of ``S``, which is what
+    :func:`neighbor_exchange` exploits.
+    """
+
+    participants: Set[int]
+    adjacency: Dict[int, Set[int]] = field(default_factory=dict)
+    heard: Dict[int, List[int]] = field(default_factory=dict)
+    candidates: Dict[int, Set[int]] = field(default_factory=dict)
+    schedule_length: int = 0
+    rounds_used: int = 0
+
+    def neighbors(self, uid: int) -> Set[int]:
+        """Neighbours of ``uid`` in ``H`` (empty set if isolated)."""
+        return self.adjacency.get(uid, set())
+
+    def degree(self, uid: int) -> int:
+        """Degree of ``uid`` in ``H``."""
+        return len(self.adjacency.get(uid, set()))
+
+    def max_degree(self) -> int:
+        """Largest degree in ``H``."""
+        return max((len(adj) for adj in self.adjacency.values()), default=0)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Edge list with ``u < v``."""
+        result = []
+        for u, adj in self.adjacency.items():
+            for v in adj:
+                if u < v:
+                    result.append((u, v))
+        return sorted(result)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of ``H``."""
+        return v in self.adjacency.get(u, set())
+
+
+def build_proximity_graph(
+    sim: SINRSimulator,
+    participants: Iterable[int],
+    config: AlgorithmConfig,
+    cluster_of: Optional[Mapping[int, int]] = None,
+    phase: str = "proximity",
+) -> ProximityGraph:
+    """Run Algorithm 1 on the given participants.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    participants:
+        IDs of the nodes taking part (the current ``Active`` set).
+    config:
+        Algorithm constants (``kappa``, ``rho``, selector lengths).
+    cluster_of:
+        Current cluster of each participant; ``None`` selects the unclustered
+        variant (every node in cluster 1, plain wss instead of wcss).
+    """
+    participants = set(participants)
+    graph = ProximityGraph(participants=participants)
+    if not participants:
+        return graph
+
+    id_space = sim.network.id_space
+    start_round = sim.current_round
+
+    if cluster_of is None:
+        schedule = wss_for(id_space, config)
+        schedule_length = len(schedule)
+        factory = clustered_message_factory("exchange", {uid: 1 for uid in participants})
+        exchange = run_schedule(
+            sim, schedule, participants, message_factory=factory, phase=f"{phase}:exchange"
+        )
+        scheduled_rounds = {uid: set(schedule.rounds_of(uid)) for uid in participants}
+        cluster_lookup: Dict[int, int] = {uid: 1 for uid in participants}
+    else:
+        cluster_lookup = {uid: int(cluster_of[uid]) for uid in participants}
+        schedule = wcss_for(id_space, config)
+        schedule_length = len(schedule)
+        factory = clustered_message_factory("exchange", cluster_lookup)
+        exchange = run_cluster_schedule(
+            sim,
+            schedule,
+            participants,
+            cluster_of=cluster_lookup,
+            message_factory=factory,
+            phase=f"{phase}:exchange",
+        )
+        scheduled_rounds = {
+            uid: {
+                t
+                for t in range(len(schedule))
+                if schedule.transmits_in(uid, cluster_lookup[uid], t)
+            }
+            for uid in participants
+        }
+
+    graph.schedule_length = schedule_length
+
+    # ----------------------------- Filtering ----------------------------- #
+    candidate_cap = config.effective_candidate_cap
+    candidates: Dict[int, Set[int]] = {}
+    for v in participants:
+        events = exchange.heard_by(v)
+        # Only same-cluster senders are candidates (ignored otherwise, Alg. 1 remark).
+        relevant = [
+            e
+            for e in events
+            if e.message.cluster is None or e.message.cluster == cluster_lookup.get(v)
+        ]
+        heard_senders = []
+        for e in relevant:
+            if e.sender not in heard_senders:
+                heard_senders.append(e.sender)
+        graph.heard[v] = heard_senders
+        candidate_set = set(heard_senders)
+        # Filtering evidence: same-cluster receptions only (Alg. 1 remark).  A
+        # close pair's partner is the closest *same-cluster* node, so only a
+        # same-cluster reception in one of w's rounds disqualifies w.
+        heard_rounds = {e.round_index: e.sender for e in relevant}
+        for w in heard_senders:
+            # Drop w if v heard somebody else in a round in which w was scheduled.
+            for t in scheduled_rounds.get(w, ()):  # w transmitted in these rounds
+                sender_heard = heard_rounds.get(t)
+                if sender_heard is not None and sender_heard != w:
+                    candidate_set.discard(w)
+                    break
+        if len(candidate_set) > candidate_cap:
+            candidate_set = set()
+        candidates[v] = candidate_set
+    graph.candidates = candidates
+
+    # --------------------------- Confirmation --------------------------- #
+    # The confirmation phase repeats the schedule once per kept candidate
+    # (at most ``candidate_cap`` times).  The transmitter sets are identical
+    # to the exchange phase, so by determinism of the physics the receptions
+    # are identical too: v hears w again iff it heard w before.  We charge
+    # the rounds and compute the outcome from the exchange-phase record.
+    confirmation_repetitions = max(
+        (len(c) for c in candidates.values()), default=0
+    )
+    confirmation_repetitions = min(confirmation_repetitions, candidate_cap)
+    if confirmation_repetitions:
+        sim.run_silent_rounds(
+            confirmation_repetitions * schedule_length, phase=f"{phase}:confirm"
+        )
+
+    for v in participants:
+        kept: Set[int] = set()
+        for w in candidates[v]:
+            if w in candidates and v in candidates[w] and w in graph.heard.get(v, []):
+                kept.add(w)
+        graph.adjacency[v] = kept
+    # Symmetrize defensively (mutual condition above already implies symmetry).
+    for v in participants:
+        for w in graph.adjacency.get(v, set()):
+            graph.adjacency.setdefault(w, set()).add(v)
+
+    graph.rounds_used = sim.current_round - start_round
+    return graph
+
+
+def neighbor_exchange(
+    sim: SINRSimulator,
+    graph: ProximityGraph,
+    payloads: Mapping[int, Tuple[int, ...]],
+    phase: str = "exchange",
+) -> Dict[int, Dict[int, Tuple[int, ...]]]:
+    """Deliver a fresh payload across every edge of ``H`` (both directions).
+
+    Realized by replaying the selector schedule with identical transmitter
+    sets (identical receptions, new content); costs one schedule length of
+    rounds.  Returns ``received[v][u] = payload of u`` for every edge
+    ``{u, v}`` of ``H``.
+    """
+    sim.run_silent_rounds(graph.schedule_length, phase=phase)
+    received: Dict[int, Dict[int, Tuple[int, ...]]] = {uid: {} for uid in graph.participants}
+    for v in graph.participants:
+        for u in graph.neighbors(v):
+            received[v][u] = tuple(payloads.get(u, ()))
+    return received
+
+
+def distributed_mis(
+    sim: SINRSimulator,
+    graph: ProximityGraph,
+    config: AlgorithmConfig,
+    phase: str = "mis",
+) -> Set[int]:
+    """Compute a maximal independent set of ``H`` by local message exchange.
+
+    Each iteration of the iterated-local-minima rule needs one status
+    exchange between ``H``-neighbours, i.e. one replayed schedule execution.
+    The rounds are charged accordingly; the resulting set is the
+    lexicographically-first MIS of ``H`` (see :mod:`repro.selectors.mis`).
+    """
+    adjacency = {uid: set(graph.neighbors(uid)) for uid in graph.participants}
+    mis, iterations = iterated_local_minima_mis(adjacency, max_iterations=config.mis_max_iterations)
+    if iterations:
+        sim.run_silent_rounds(iterations * max(graph.schedule_length, 1), phase=phase)
+    return mis

@@ -1,0 +1,19 @@
+"""Programmatic experiment runners mirroring the benchmark harness."""
+
+from .sweeps import (
+    SweepPoint,
+    SweepResult,
+    clustering_sweep,
+    gadget_delay_sweep,
+    global_broadcast_sweep,
+    local_broadcast_sweep,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "clustering_sweep",
+    "gadget_delay_sweep",
+    "global_broadcast_sweep",
+    "local_broadcast_sweep",
+]

@@ -1,0 +1,55 @@
+"""Lower-bound constructions of Theorem 6: gadgets, chains and the adversary."""
+
+from .adversary import (
+    AdversarialAssignment,
+    GadgetDeliveryResult,
+    ObliviousAlgorithm,
+    adversarial_id_assignment,
+    exponential_backoff_algorithm,
+    measure_gadget_delivery,
+    round_robin_algorithm,
+    schedule_algorithm,
+)
+from .chain import (
+    ChainLayout,
+    buffer_length,
+    build_chain,
+    chain_layout,
+    external_interference_at_core,
+    theoretical_lower_bound,
+)
+from .gadget import (
+    GadgetLayout,
+    build_gadget,
+    check_blocking_property,
+    check_target_property,
+    gadget_interference_budget,
+    gadget_layout,
+    geometric_base,
+    lower_bound_parameters,
+)
+
+__all__ = [
+    "AdversarialAssignment",
+    "ChainLayout",
+    "GadgetDeliveryResult",
+    "GadgetLayout",
+    "ObliviousAlgorithm",
+    "adversarial_id_assignment",
+    "buffer_length",
+    "build_chain",
+    "build_gadget",
+    "chain_layout",
+    "check_blocking_property",
+    "check_target_property",
+    "exponential_backoff_algorithm",
+    "external_interference_at_core",
+    "gadget_interference_budget",
+    "gadget_layout",
+    "geometric_base",
+    "lower_bound_parameters",
+    "measure_gadget_delivery",
+    "round_robin_algorithm",
+    "schedule_algorithm",
+    "theoretical_lower_bound",
+]

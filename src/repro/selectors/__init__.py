@@ -1,0 +1,61 @@
+"""Combinatorial transmission schedules: ssf, witnessed selectors, MIS helpers."""
+
+from .mis import (
+    greedy_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+    iterated_local_minima_mis,
+    local_minima,
+)
+from .ssf import (
+    TransmissionSchedule,
+    first_primes_at_least,
+    greedy_random_ssf,
+    prime_residue_ssf,
+    primes_up_to,
+    round_robin_schedule,
+    verify_ssf,
+)
+from .wcss import (
+    ClusterAwareSchedule,
+    cluster_witness_rounds,
+    missing_cluster_witnesses,
+    random_wcss,
+    verify_wcss,
+    wcss_length,
+)
+from .wss import (
+    missing_witness_triples,
+    random_wss,
+    selection_rounds,
+    verify_wss,
+    witness_rounds,
+    wss_length,
+)
+
+__all__ = [
+    "ClusterAwareSchedule",
+    "TransmissionSchedule",
+    "cluster_witness_rounds",
+    "first_primes_at_least",
+    "greedy_mis",
+    "greedy_random_ssf",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "iterated_local_minima_mis",
+    "local_minima",
+    "missing_cluster_witnesses",
+    "missing_witness_triples",
+    "prime_residue_ssf",
+    "primes_up_to",
+    "random_wcss",
+    "random_wss",
+    "round_robin_schedule",
+    "selection_rounds",
+    "verify_ssf",
+    "verify_wcss",
+    "verify_wss",
+    "wcss_length",
+    "witness_rounds",
+    "wss_length",
+]

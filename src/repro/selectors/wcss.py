@@ -1,0 +1,212 @@
+"""Witnessed cluster-aware strong selectors (wcss) -- Lemma 3 of the paper.
+
+An ``(N, k, l)``-wcss is a sequence of subsets of ``[N] x [N]`` (pairs of node
+ID and cluster ID) such that for every cluster ``phi``, every conflict set
+``C`` of at most ``l`` other clusters, every ``X`` of at most ``k`` nodes of
+cluster ``phi``, every ``x`` in ``X`` and every ``y`` of cluster ``phi``
+outside ``X``, some round selects ``x`` from ``X``, contains ``y`` as a
+witness, and is *free* of all clusters in ``C``.
+
+Following the paper's probabilistic construction (proof of Lemma 3) each
+round is sampled in two independent stages: first a set of *allowed clusters*
+(each cluster admitted with probability ``1/l``), then a set of *allowed node
+IDs* (each admitted with probability ``1/k``).  A clustered node ``(v, phi)``
+transmits in a round iff ``phi`` is allowed **and** ``v`` is allowed.  This
+product form is exactly the event structure analysed in the paper and admits
+a compact representation: two ID sets per round instead of a subset of
+``[N]^2``.
+
+As with the wss, the construction is seeded (hence deterministic and shared
+by all nodes), the faithful ``O((k+l) l k^2 log N)`` length is available via
+``faithful=True``, and a compact default keeps simulations laptop-scale; see
+DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusterAwareSchedule:
+    """A transmission schedule for clustered sets of nodes.
+
+    ``node_rounds[t]`` is the set of node IDs allowed to transmit in round
+    ``t`` and ``cluster_rounds[t]`` the set of cluster IDs allowed in round
+    ``t``.  A node ``v`` of cluster ``phi`` transmits in round ``t`` iff
+    ``v in node_rounds[t]`` and ``phi in cluster_rounds[t]``.
+    """
+
+    id_space: int
+    node_rounds: Tuple[FrozenSet[int], ...]
+    cluster_rounds: Tuple[FrozenSet[int], ...]
+    name: str = "wcss"
+
+    def __post_init__(self) -> None:
+        if self.id_space <= 0:
+            raise ValueError("id_space must be positive")
+        if len(self.node_rounds) != len(self.cluster_rounds):
+            raise ValueError("node_rounds and cluster_rounds must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.node_rounds)
+
+    def transmits_in(self, uid: int, cluster: int, round_index: int) -> bool:
+        """Whether node ``uid`` of cluster ``cluster`` transmits in the given round."""
+        return (
+            uid in self.node_rounds[round_index]
+            and cluster in self.cluster_rounds[round_index]
+        )
+
+    def round_is_free_of(self, round_index: int, clusters: Iterable[int]) -> bool:
+        """Whether the round admits none of the given clusters."""
+        allowed = self.cluster_rounds[round_index]
+        return not any(c in allowed for c in clusters)
+
+    def repeated(self, times: int) -> "ClusterAwareSchedule":
+        """The schedule concatenated with itself ``times`` times."""
+        if times <= 0:
+            raise ValueError("times must be positive")
+        return ClusterAwareSchedule(
+            id_space=self.id_space,
+            node_rounds=self.node_rounds * times,
+            cluster_rounds=self.cluster_rounds * times,
+            name=f"{self.name}x{times}",
+        )
+
+
+def wcss_length(
+    id_space: int, k: int, l: int, size_factor: float = 1.0, faithful: bool = False
+) -> int:
+    """Number of rounds used by :func:`random_wcss`.
+
+    The faithful length is the paper's ``O((k + l) l k^2 log N)``; the compact
+    default is ``O(l k^2 log N)`` which, with the fixed seed, suffices for the
+    cluster configurations arising in our simulations.
+    """
+    if k <= 0 or l <= 0:
+        raise ValueError("k and l must be positive")
+    log_n = math.log(max(id_space, 2))
+    if faithful:
+        base = 3.0 * math.e * (k + l) * l * (k**2) * (log_n + 2.0)
+    else:
+        base = 1.5 * math.e * l * (k**2) * (log_n + 2.0)
+    return max(1, int(math.ceil(size_factor * base)))
+
+
+def random_wcss(
+    id_space: int,
+    k: int,
+    l: int,
+    seed: int = 0,
+    size_factor: float = 1.0,
+    faithful: bool = False,
+    length: Optional[int] = None,
+) -> ClusterAwareSchedule:
+    """Seeded probabilistic-method construction of an ``(N, k, l)``-wcss."""
+    if id_space <= 0:
+        raise ValueError("id_space must be positive")
+    if k <= 0 or l <= 0:
+        raise ValueError("k and l must be positive")
+    k = min(k, id_space)
+    l = min(l, id_space)
+    rng = np.random.default_rng(seed)
+    if length is None:
+        length = wcss_length(id_space, k, l, size_factor=size_factor, faithful=faithful)
+    ids = np.arange(1, id_space + 1)
+    node_probability = 1.0 / max(k, 2)
+    cluster_probability = 1.0 / max(l, 2)
+    node_rounds: List[FrozenSet[int]] = []
+    cluster_rounds: List[FrozenSet[int]] = []
+    for _ in range(length):
+        node_mask = rng.random(id_space) < node_probability
+        cluster_mask = rng.random(id_space) < cluster_probability
+        node_rounds.append(frozenset(int(v) for v in ids[node_mask]))
+        cluster_rounds.append(frozenset(int(v) for v in ids[cluster_mask]))
+    return ClusterAwareSchedule(
+        id_space=id_space,
+        node_rounds=tuple(node_rounds),
+        cluster_rounds=tuple(cluster_rounds),
+        name=f"wcss(N={id_space},k={k},l={l},seed={seed})",
+    )
+
+
+def cluster_witness_rounds(
+    schedule: ClusterAwareSchedule,
+    cluster: int,
+    selected: int,
+    witness: int,
+    blockers: Iterable[int],
+    conflicts: Iterable[int],
+) -> List[int]:
+    """Rounds realizing the wcss property for a concrete configuration.
+
+    ``blockers`` are the other members of ``X`` (same cluster as ``selected``)
+    and ``conflicts`` the clusters that must stay silent in the round.
+    """
+    blocker_set = set(blockers) - {selected}
+    conflict_set = set(conflicts) - {cluster}
+    rounds: List[int] = []
+    for t in range(len(schedule)):
+        nodes = schedule.node_rounds[t]
+        clusters = schedule.cluster_rounds[t]
+        if cluster not in clusters:
+            continue
+        if conflict_set & clusters:
+            continue
+        if selected not in nodes or witness not in nodes:
+            continue
+        if blocker_set & nodes:
+            continue
+        rounds.append(t)
+    return rounds
+
+
+def verify_wcss(
+    schedule: ClusterAwareSchedule,
+    k: int,
+    l: int,
+    node_universe: Sequence[int],
+    cluster_universe: Sequence[int],
+) -> bool:
+    """Exhaustively verify the wcss property over small universes.
+
+    Exponential in ``k`` and ``l``; intended for unit tests with a handful of
+    IDs and clusters only.
+    """
+    node_universe = list(node_universe)
+    cluster_universe = list(cluster_universe)
+    for phi in cluster_universe:
+        other_clusters = [c for c in cluster_universe if c != phi]
+        conflict_sets = list(combinations(other_clusters, min(l, len(other_clusters))))
+        if not conflict_sets:
+            conflict_sets = [tuple()]
+        for conflict in conflict_sets:
+            for subset in combinations(node_universe, min(k, len(node_universe))):
+                subset_set = set(subset)
+                for x in subset:
+                    for y in node_universe:
+                        if y in subset_set:
+                            continue
+                        if not cluster_witness_rounds(schedule, phi, x, y, subset_set, conflict):
+                            return False
+    return True
+
+
+def missing_cluster_witnesses(
+    schedule: ClusterAwareSchedule,
+    configurations: Iterable[Tuple[int, Set[int], int, int, Set[int]]],
+) -> List[Tuple[int, Set[int], int, int, Set[int]]]:
+    """Configurations ``(cluster, X, x, y, conflicts)`` for which the property fails."""
+    failures = []
+    for cluster, subset, x, y, conflicts in configurations:
+        if x not in subset or y in subset:
+            raise ValueError("expected x in X and y outside X")
+        if not cluster_witness_rounds(schedule, cluster, x, y, subset, conflicts):
+            failures.append((cluster, subset, x, y, conflicts))
+    return failures

@@ -1,0 +1,33 @@
+"""Synchronous round-based simulation layer for the SINR model."""
+
+from .engine import SINRSimulator
+from .messages import Message, message_bits
+from .metrics import ExperimentSample, RoundMeter, summarize_samples
+from .protocol import NodeProtocol, ProtocolRun, run_protocol
+from .schedule import (
+    ReceptionEvent,
+    ScheduleResult,
+    run_cluster_schedule,
+    run_round_robin,
+    run_schedule,
+)
+from .trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "ExecutionTrace",
+    "ExperimentSample",
+    "Message",
+    "NodeProtocol",
+    "ProtocolRun",
+    "ReceptionEvent",
+    "RoundMeter",
+    "RoundRecord",
+    "ScheduleResult",
+    "SINRSimulator",
+    "message_bits",
+    "run_cluster_schedule",
+    "run_protocol",
+    "run_round_robin",
+    "run_schedule",
+    "summarize_samples",
+]

@@ -1,0 +1,188 @@
+"""The synchronous round-based execution engine.
+
+:class:`SINRSimulator` wraps a :class:`~repro.sinr.network.WirelessNetwork`
+and exposes the single primitive the paper's model provides: in each round,
+a set of nodes transmits a message each, every other (awake) node listens,
+and the SINR inequality (Equation 1) decides who decodes what.  Because the
+threshold ``beta`` exceeds one, a listener decodes at most one transmitter
+per round, so the result of a round is a partial map ``listener -> message``.
+
+The engine also keeps the global round counter (protocol complexity is
+measured in rounds), a message counter and, optionally, a full
+:class:`~repro.simulation.trace.ExecutionTrace` for the figure-style
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..sinr.network import WirelessNetwork
+from .messages import Message
+from .trace import ExecutionTrace, RoundRecord
+
+
+class SINRSimulator:
+    """Synchronous SINR round executor over a fixed network.
+
+    Parameters
+    ----------
+    network:
+        The network (placement + physics + shared knowledge) to execute on.
+    record_trace:
+        When true, every round is appended to :attr:`trace` -- useful for the
+        per-figure experiments; leave off for the long parameter sweeps.
+    """
+
+    def __init__(self, network: WirelessNetwork, record_trace: bool = False) -> None:
+        self._network = network
+        self._round = 0
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._trace: Optional[ExecutionTrace] = ExecutionTrace() if record_trace else None
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def network(self) -> WirelessNetwork:
+        """The underlying network."""
+        return self._network
+
+    @property
+    def current_round(self) -> int:
+        """Number of rounds executed so far."""
+        return self._round
+
+    @property
+    def messages_sent(self) -> int:
+        """Total number of transmissions across all rounds."""
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        """Total number of successful receptions across all rounds."""
+        return self._messages_delivered
+
+    @property
+    def trace(self) -> Optional[ExecutionTrace]:
+        """The execution trace, if recording was enabled."""
+        return self._trace
+
+    def reset_counters(self) -> None:
+        """Reset the round and message counters (the trace is kept)."""
+        self._round = 0
+        self._messages_sent = 0
+        self._messages_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # Round execution.
+    # ------------------------------------------------------------------ #
+
+    def run_round(
+        self,
+        transmissions: Mapping[int, Message],
+        listeners: Optional[Iterable[int]] = None,
+        phase: str = "",
+    ) -> Dict[int, Message]:
+        """Execute one synchronous round.
+
+        Parameters
+        ----------
+        transmissions:
+            Map from transmitting node ID to the message it sends.
+        listeners:
+            IDs of the nodes that listen this round; defaults to every node
+            that is awake and not transmitting.  Transmitting nodes never
+            receive (half-duplex).
+        phase:
+            Free-form label stored in the trace.
+
+        Returns
+        -------
+        dict
+            ``listener ID -> decoded message`` for every listener whose SINR
+            constraint was met by some transmitter.
+        """
+        network = self._network
+        self._round += 1
+        self._messages_sent += len(transmissions)
+
+        if not transmissions:
+            if self._trace is not None:
+                self._trace.append(RoundRecord(index=self._round, phase=phase, transmitters=(), deliveries={}))
+            return {}
+
+        sender_indices = [network.index_of(uid) for uid in transmissions]
+        if listeners is None:
+            listener_ids = [
+                node.uid
+                for node in network.nodes
+                if node.awake and node.uid not in transmissions
+            ]
+        else:
+            listener_ids = [uid for uid in listeners if uid not in transmissions]
+        listener_indices = [network.index_of(uid) for uid in listener_ids]
+
+        receptions = network.physics.receptions(sender_indices, listener_indices)
+
+        delivered: Dict[int, Message] = {}
+        for listener_index, reception in receptions.items():
+            listener_uid = network.uid_of(listener_index)
+            sender_uid = network.uid_of(reception.sender)
+            delivered[listener_uid] = transmissions[sender_uid]
+        self._messages_delivered += len(delivered)
+
+        if self._trace is not None:
+            self._trace.append(
+                RoundRecord(
+                    index=self._round,
+                    phase=phase,
+                    transmitters=tuple(sorted(transmissions)),
+                    deliveries={uid: msg.sender for uid, msg in delivered.items()},
+                )
+            )
+        return delivered
+
+    def run_silent_rounds(self, count: int, phase: str = "idle") -> None:
+        """Advance the round counter by ``count`` rounds with no transmissions.
+
+        Algorithms that synchronize on a global round counter sometimes need
+        to "wait out" the remainder of a schedule; the simulator accounts for
+        those rounds without paying the cost of evaluating empty rounds.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._round += count
+        if self._trace is not None and count > 0:
+            self._trace.append(
+                RoundRecord(index=self._round, phase=phase, transmitters=(), deliveries={}, skipped=count)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Wakefulness helpers (non-spontaneous wake-up model).
+    # ------------------------------------------------------------------ #
+
+    def sleeping_nodes(self) -> List[int]:
+        """IDs of nodes that are currently asleep."""
+        return [node.uid for node in self._network.nodes if not node.awake]
+
+    def awake_nodes(self) -> List[int]:
+        """IDs of nodes that are currently awake."""
+        return [node.uid for node in self._network.nodes if node.awake]
+
+    def put_all_to_sleep(self, except_for: Iterable[int] = ()) -> None:
+        """Mark every node asleep except the given ones (global broadcast setup)."""
+        keep = set(except_for)
+        for node in self._network.nodes:
+            node.awake = node.uid in keep
+
+    def wake(self, uids: Iterable[int]) -> None:
+        """Mark the given nodes awake."""
+        for uid in uids:
+            self._network.node(uid).awake = True
+
+    def is_awake(self, uid: int) -> bool:
+        """Whether node ``uid`` is awake."""
+        return self._network.node(uid).awake

@@ -1,0 +1,90 @@
+"""Round and message accounting shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .engine import SINRSimulator
+
+
+@dataclass
+class RoundMeter:
+    """Measures the rounds/messages consumed by named algorithm stages.
+
+    Usage::
+
+        meter = RoundMeter(sim)
+        with meter.stage("clustering"):
+            clustering = build_clustering(sim, ...)
+        with meter.stage("local-broadcast"):
+            run_local_broadcast(sim, ...)
+        meter.report()   # {'clustering': {...}, 'local-broadcast': {...}}
+    """
+
+    sim: SINRSimulator
+    stages: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    class _StageContext:
+        def __init__(self, meter: "RoundMeter", name: str) -> None:
+            self._meter = meter
+            self._name = name
+            self._start_rounds = 0
+            self._start_sent = 0
+            self._start_delivered = 0
+
+        def __enter__(self) -> "RoundMeter._StageContext":
+            self._start_rounds = self._meter.sim.current_round
+            self._start_sent = self._meter.sim.messages_sent
+            self._start_delivered = self._meter.sim.messages_delivered
+            return self
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            if exc_type is not None:
+                return
+            sim = self._meter.sim
+            entry = self._meter.stages.setdefault(
+                self._name, {"rounds": 0, "messages_sent": 0, "messages_delivered": 0}
+            )
+            entry["rounds"] += sim.current_round - self._start_rounds
+            entry["messages_sent"] += sim.messages_sent - self._start_sent
+            entry["messages_delivered"] += sim.messages_delivered - self._start_delivered
+
+    def stage(self, name: str) -> "_StageContext":
+        """Context manager accumulating rounds/messages under ``name``."""
+        return RoundMeter._StageContext(self, name)
+
+    def rounds_of(self, name: str) -> int:
+        """Rounds consumed by stage ``name`` (0 if it never ran)."""
+        return self.stages.get(name, {}).get("rounds", 0)
+
+    def total_rounds(self) -> int:
+        """Total rounds across all recorded stages."""
+        return sum(entry["rounds"] for entry in self.stages.values())
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """Copy of the per-stage counters."""
+        return {name: dict(entry) for name, entry in self.stages.items()}
+
+
+@dataclass(frozen=True)
+class ExperimentSample:
+    """One measured data point of a parameter sweep."""
+
+    parameters: Dict[str, float]
+    rounds: int
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def summarize_samples(samples: List[ExperimentSample]) -> Dict[str, float]:
+    """Mean rounds/messages over a list of samples (empty-safe)."""
+    if not samples:
+        return {"rounds": 0.0, "messages_sent": 0.0, "messages_delivered": 0.0}
+    n = float(len(samples))
+    return {
+        "rounds": sum(s.rounds for s in samples) / n,
+        "messages_sent": sum(s.messages_sent for s in samples) / n,
+        "messages_delivered": sum(s.messages_delivered for s in samples) / n,
+    }

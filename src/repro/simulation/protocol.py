@@ -1,0 +1,114 @@
+"""Actor-style protocol interface.
+
+The deterministic algorithms of :mod:`repro.core` are orchestrated phase by
+phase around globally known schedules, but the randomized baselines (and
+user-written protocols in the examples) are most naturally expressed as
+per-node actors: every round each node decides, from its local state alone,
+whether to transmit and what, and then processes whatever it received.
+
+:class:`NodeProtocol` is that per-node actor; :func:`run_protocol` drives a
+collection of actors on a :class:`~repro.simulation.engine.SINRSimulator`
+until they all report completion or a round limit is hit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .engine import SINRSimulator
+from .messages import Message
+
+
+class NodeProtocol(ABC):
+    """Behaviour of one node in an actor-style protocol.
+
+    Subclasses keep whatever local state they need; the driver guarantees
+    that only local information ever reaches them: their own ID, the global
+    round number, and the messages they decode.
+    """
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+
+    @abstractmethod
+    def on_round(self, round_number: int) -> Optional[Message]:
+        """Decide the action for this round.
+
+        Return a :class:`Message` to transmit it, or ``None`` to listen.
+        """
+
+    def on_receive(self, round_number: int, message: Message) -> None:
+        """Handle a message decoded in this round (default: ignore)."""
+
+    def finished(self) -> bool:
+        """Whether this node considers its task complete (default: never)."""
+        return False
+
+
+@dataclass
+class ProtocolRun:
+    """Result of driving a set of actors."""
+
+    rounds: int
+    completed: bool
+    transmissions: int
+    deliveries: int
+
+
+def run_protocol(
+    sim: SINRSimulator,
+    protocols: Mapping[int, NodeProtocol],
+    max_rounds: int,
+    only_awake: bool = True,
+    stop_when_all_finished: bool = True,
+) -> ProtocolRun:
+    """Drive actor protocols for up to ``max_rounds`` rounds.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to run on.
+    protocols:
+        Map from node ID to its actor.  Nodes without an actor never transmit.
+    max_rounds:
+        Hard bound on the number of rounds executed.
+    only_awake:
+        When true (the default) sleeping nodes neither act nor listen,
+        matching the non-spontaneous wake-up model.
+    stop_when_all_finished:
+        Stop early once every actor's :meth:`NodeProtocol.finished` is true.
+    """
+    if max_rounds <= 0:
+        raise ValueError("max_rounds must be positive")
+    transmissions = 0
+    deliveries = 0
+    executed = 0
+    for round_number in range(1, max_rounds + 1):
+        executed = round_number
+        outgoing: Dict[int, Message] = {}
+        for uid, actor in protocols.items():
+            if only_awake and not sim.is_awake(uid):
+                continue
+            message = actor.on_round(sim.current_round + 1)
+            if message is not None:
+                outgoing[uid] = message
+        listeners: Optional[List[int]] = None
+        if only_awake:
+            listeners = [uid for uid in sim.awake_nodes() if uid not in outgoing]
+        delivered = sim.run_round(outgoing, listeners=listeners, phase="protocol")
+        transmissions += len(outgoing)
+        deliveries += len(delivered)
+        for listener, message in delivered.items():
+            actor = protocols.get(listener)
+            if actor is not None:
+                actor.on_receive(sim.current_round, message)
+        if stop_when_all_finished and protocols and all(a.finished() for a in protocols.values()):
+            return ProtocolRun(
+                rounds=executed, completed=True, transmissions=transmissions, deliveries=deliveries
+            )
+    completed = bool(protocols) and all(a.finished() for a in protocols.values())
+    return ProtocolRun(
+        rounds=executed, completed=completed, transmissions=transmissions, deliveries=deliveries
+    )

@@ -1,0 +1,89 @@
+"""Execution traces: per-round records of who transmitted and who heard whom.
+
+Traces back the figure-style experiments (e.g. the phase illustration of
+Figure 1) and several integration tests that assert *when* something was
+received, not only whether it eventually was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in a single round."""
+
+    index: int
+    phase: str
+    transmitters: Tuple[int, ...]
+    deliveries: Dict[int, int]
+    skipped: int = 0
+
+    @property
+    def successful(self) -> int:
+        """Number of successful receptions in the round."""
+        return len(self.deliveries)
+
+
+@dataclass
+class ExecutionTrace:
+    """An append-only sequence of :class:`RoundRecord`."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Add a round record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self.records)
+
+    def rounds_in_phase(self, phase: str) -> List[RoundRecord]:
+        """All records whose phase label equals ``phase``."""
+        return [r for r in self.records if r.phase == phase]
+
+    def phases(self) -> List[str]:
+        """Distinct phase labels, in first-appearance order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.phase not in seen:
+                seen.append(record.phase)
+        return seen
+
+    def first_delivery_to(self, uid: int) -> Optional[RoundRecord]:
+        """The first round in which node ``uid`` decoded a message, if any."""
+        for record in self.records:
+            if uid in record.deliveries:
+                return record
+        return None
+
+    def deliveries_from(self, uid: int) -> List[Tuple[int, int]]:
+        """All ``(round index, receiver)`` pairs for transmissions of ``uid`` that were decoded."""
+        result: List[Tuple[int, int]] = []
+        for record in self.records:
+            for receiver, sender in record.deliveries.items():
+                if sender == uid:
+                    result.append((record.index, receiver))
+        return result
+
+    def total_transmissions(self) -> int:
+        """Total number of (node, round) transmission events recorded."""
+        return sum(len(r.transmitters) for r in self.records)
+
+    def total_deliveries(self) -> int:
+        """Total number of successful receptions recorded."""
+        return sum(r.successful for r in self.records)
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate counters used by reports and example scripts."""
+        return {
+            "rounds": self.records[-1].index if self.records else 0,
+            "records": len(self.records),
+            "transmissions": self.total_transmissions(),
+            "deliveries": self.total_deliveries(),
+        }

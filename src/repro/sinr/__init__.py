@@ -1,0 +1,41 @@
+"""SINR substrate: model parameters, geometry, physics, networks, deployments."""
+
+from .geometry import (
+    Ball,
+    ClosePair,
+    chi,
+    critical_distance,
+    cluster_density,
+    distance,
+    find_close_pairs,
+    minimum_pairwise_distance,
+    pairwise_distances,
+    unit_ball_density,
+)
+from .metric import MetricNetwork, doubling_dimension_estimate
+from .model import SINRParameters, log_star
+from .network import WirelessNetwork
+from .node import Node
+from .physics import PhysicsEngine, Reception, successful_links
+
+__all__ = [
+    "Ball",
+    "ClosePair",
+    "MetricNetwork",
+    "Node",
+    "PhysicsEngine",
+    "Reception",
+    "SINRParameters",
+    "WirelessNetwork",
+    "chi",
+    "critical_distance",
+    "cluster_density",
+    "distance",
+    "doubling_dimension_estimate",
+    "find_close_pairs",
+    "log_star",
+    "minimum_pairwise_distance",
+    "pairwise_distances",
+    "successful_links",
+    "unit_ball_density",
+]

@@ -1,0 +1,120 @@
+"""SINR model parameters.
+
+The paper (Section 1.1) fixes the following parameters of the physical
+(SINR) model:
+
+* ``alpha`` -- the path-loss exponent, ``alpha > 2``;
+* ``beta``  -- the SINR reception threshold, ``beta > 1``;
+* ``noise`` -- the ambient noise ``N > 0``;
+* ``power`` -- the uniform transmission power ``P``;
+* ``epsilon`` -- the connectivity parameter of the communication graph:
+  nodes at distance at most ``1 - epsilon`` are graph neighbours.
+
+The paper normalizes the transmission range to 1, which forces the relation
+``P = N * beta`` (a single transmitter at distance exactly 1 is received with
+SINR exactly ``beta`` when nobody else transmits).  :meth:`SINRParameters.
+default` follows that normalization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class SINRParameters:
+    """Immutable container for the physical-model parameters.
+
+    Instances are hashable and can be shared freely between the network,
+    the simulator and the algorithms.  All algorithms in :mod:`repro.core`
+    receive the parameters through the network object, mirroring the paper's
+    assumption that every node knows ``P, alpha, beta, epsilon, N``.
+    """
+
+    alpha: float = 3.0
+    beta: float = 1.5
+    noise: float = 1.0
+    epsilon: float = 0.2
+    power: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 2:
+            raise ValueError(f"path-loss exponent alpha must exceed 2, got {self.alpha}")
+        if self.beta <= 1:
+            raise ValueError(f"SINR threshold beta must exceed 1, got {self.beta}")
+        if self.noise <= 0:
+            raise ValueError(f"ambient noise must be positive, got {self.noise}")
+        if not 0 < self.epsilon < 1:
+            raise ValueError(f"epsilon must lie in (0, 1), got {self.epsilon}")
+        if self.power <= 0:
+            # Normalize the transmission range to 1: P = N * beta.
+            object.__setattr__(self, "power", self.noise * self.beta)
+
+    @classmethod
+    def default(cls) -> "SINRParameters":
+        """Return the default parameter set used throughout the test suite."""
+        return cls()
+
+    @property
+    def transmission_range(self) -> float:
+        """Maximal distance at which an isolated transmitter can be heard.
+
+        Solves ``P / d^alpha / noise = beta`` for ``d``.
+        """
+        return (self.power / (self.noise * self.beta)) ** (1.0 / self.alpha)
+
+    @property
+    def communication_radius(self) -> float:
+        """Edge threshold of the communication graph: ``(1 - epsilon) * range``."""
+        return (1.0 - self.epsilon) * self.transmission_range
+
+    def with_epsilon(self, epsilon: float) -> "SINRParameters":
+        """Return a copy with a different connectivity parameter."""
+        return replace(self, epsilon=epsilon)
+
+    def with_alpha(self, alpha: float) -> "SINRParameters":
+        """Return a copy with a different path-loss exponent."""
+        return replace(self, alpha=alpha)
+
+    def received_power(self, distance: float) -> float:
+        """Signal strength ``P / d^alpha`` of a transmitter at ``distance``."""
+        if distance <= 0:
+            raise ValueError("distance must be positive")
+        return self.power / distance**self.alpha
+
+    def min_signal_for_reception(self, interference: float) -> float:
+        """Minimal received power needed to beat ``interference`` plus noise."""
+        return self.beta * (self.noise + interference)
+
+    def max_reception_distance(self, interference: float) -> float:
+        """Largest distance at which a message survives a given interference."""
+        return (self.power / self.min_signal_for_reception(interference)) ** (1.0 / self.alpha)
+
+    def gadget_interference_budget(self) -> float:
+        """The constant ``nu`` of Lemma 13: ``P/(4 eps)^alpha / (N + nu) = beta``.
+
+        Solving for ``nu`` gives the maximal external interference under which
+        the lower-bound gadget still behaves as in the single-gadget analysis.
+        """
+        nu = self.power / ((4.0 * self.epsilon) ** self.alpha * self.beta) - self.noise
+        return max(nu, 0.0)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by example scripts)."""
+        return (
+            f"SINR(alpha={self.alpha}, beta={self.beta}, noise={self.noise}, "
+            f"P={self.power:.3f}, eps={self.epsilon}, range={self.transmission_range:.3f})"
+        )
+
+
+def log_star(value: float) -> int:
+    """Iterated logarithm ``log* x`` (base 2), as used in the paper's bounds."""
+    if value < 0:
+        raise ValueError("log* is undefined for negative values")
+    count = 0
+    current = float(value)
+    while current > 1.0:
+        current = math.log2(current)
+        count += 1
+    return count

@@ -1,0 +1,252 @@
+"""The wireless network: placement, IDs, communication graph, densities.
+
+:class:`WirelessNetwork` is the central substrate object.  It owns
+
+* the node placement (positions, unique IDs),
+* the :class:`~repro.sinr.physics.PhysicsEngine` evaluating SINR receptions,
+* the *communication graph* (edges between nodes at distance <= 1 - eps,
+  Section 1.1),
+* the global knowledge every node shares: the ID space bound ``N``, the
+  degree/density bound ``Delta``, and the SINR parameters.
+
+The distributed algorithms in :mod:`repro.core` receive a network instance
+but only ever use the public, knowledge-respecting API (IDs, ``id_space``,
+``delta_bound``, ``params``) plus the simulator built on top of it; geometry
+accessors are reserved for deployment code, tests and analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .geometry import graph_diameter_hops, unit_ball_density
+from .model import SINRParameters
+from .node import Node
+from .physics import PhysicsEngine
+
+
+class WirelessNetwork:
+    """A static ad hoc wireless network under the SINR model.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array of node coordinates.
+    params:
+        SINR parameters; defaults to :meth:`SINRParameters.default`.
+    uids:
+        Unique IDs in ``[1, N]``.  Defaults to ``1..n``.
+    id_space:
+        The bound ``N`` on IDs known to every node.  Defaults to a small
+        polynomial of ``n`` (``max(8, 4 n)``), mirroring ``N = n^{O(1)}``.
+    delta_bound:
+        The bound ``Delta`` on density/degree known to every node.  Defaults
+        to the measured unit-ball density.
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[Sequence[float]],
+        params: Optional[SINRParameters] = None,
+        uids: Optional[Sequence[int]] = None,
+        id_space: Optional[int] = None,
+        delta_bound: Optional[int] = None,
+    ) -> None:
+        self._params = params or SINRParameters.default()
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must be an (n, 2) array")
+        n = len(positions)
+        if n == 0:
+            raise ValueError("a network needs at least one node")
+
+        if uids is None:
+            uids = list(range(1, n + 1))
+        uids = [int(u) for u in uids]
+        if len(uids) != n:
+            raise ValueError("number of uids must match number of positions")
+        if len(set(uids)) != n:
+            raise ValueError("node IDs must be unique")
+        if min(uids) <= 0:
+            raise ValueError("node IDs must be positive")
+
+        if id_space is None:
+            id_space = max(8, 4 * n, max(uids))
+        if id_space < max(uids):
+            raise ValueError("id_space must be at least the largest node ID")
+
+        self._positions = positions
+        self._nodes: List[Node] = [
+            Node(uid=uid, index=i, position=(float(positions[i, 0]), float(positions[i, 1])))
+            for i, uid in enumerate(uids)
+        ]
+        self._uid_to_index: Dict[int, int] = {node.uid: node.index for node in self._nodes}
+        self._id_space = int(id_space)
+        self._physics = PhysicsEngine(positions, self._params)
+        self._graph = self._build_communication_graph()
+        if delta_bound is None:
+            delta_bound = max(1, unit_ball_density(positions, radius=self._params.transmission_range))
+        self._delta_bound = int(delta_bound)
+
+    # ------------------------------------------------------------------ #
+    # Knowledge shared by all nodes (what protocols may consult).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def params(self) -> SINRParameters:
+        """The SINR parameters, known to every node."""
+        return self._params
+
+    @property
+    def id_space(self) -> int:
+        """The bound ``N`` on node identifiers, known to every node."""
+        return self._id_space
+
+    @property
+    def delta_bound(self) -> int:
+        """The bound ``Delta`` on density/degree, known to every node."""
+        return self._delta_bound
+
+    @property
+    def size(self) -> int:
+        """Number of nodes ``n``."""
+        return len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def uids(self) -> List[int]:
+        """All node IDs, in index order."""
+        return [node.uid for node in self._nodes]
+
+    # ------------------------------------------------------------------ #
+    # Simulator-facing accessors.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def physics(self) -> PhysicsEngine:
+        """The SINR physics engine for this placement."""
+        return self._physics
+
+    @property
+    def nodes(self) -> List[Node]:
+        """The node objects, in index order."""
+        return self._nodes
+
+    def node(self, uid: int) -> Node:
+        """The node with identifier ``uid``."""
+        return self._nodes[self._uid_to_index[uid]]
+
+    def index_of(self, uid: int) -> int:
+        """Dense index of the node with identifier ``uid``."""
+        return self._uid_to_index[uid]
+
+    def uid_of(self, index: int) -> int:
+        """Identifier of the node at dense index ``index``."""
+        return self._nodes[index].uid
+
+    # ------------------------------------------------------------------ #
+    # Geometry / analysis accessors (not available to protocols).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Node coordinates (read-only)."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    def position_of(self, uid: int) -> Tuple[float, float]:
+        """Coordinates of node ``uid`` (analysis only)."""
+        return self._nodes[self._uid_to_index[uid]].position
+
+    @property
+    def communication_graph(self) -> nx.Graph:
+        """The communication graph on node IDs (edges at distance <= 1 - eps)."""
+        return self._graph
+
+    def neighbors(self, uid: int) -> List[int]:
+        """IDs of the communication-graph neighbours of ``uid``."""
+        return sorted(self._graph.neighbors(uid))
+
+    def degree(self, uid: int) -> int:
+        """Communication-graph degree of node ``uid``."""
+        return int(self._graph.degree[uid])
+
+    def max_degree(self) -> int:
+        """Largest degree in the communication graph."""
+        return max((d for _, d in self._graph.degree()), default=0)
+
+    def density(self) -> int:
+        """Unit-ball density of the placement (the paper's Gamma)."""
+        return unit_ball_density(self._positions, radius=self._params.transmission_range)
+
+    def is_connected(self) -> bool:
+        """Whether the communication graph is connected."""
+        return nx.is_connected(self._graph) if self.size > 1 else True
+
+    def diameter_hops(self, source_uid: Optional[int] = None) -> int:
+        """Hop diameter of the communication graph (eccentricity of ``source_uid``).
+
+        If no source is given and the graph is connected, returns the true
+        diameter; otherwise returns the eccentricity of the given source
+        restricted to its connected component.
+        """
+        if self.size == 1:
+            return 0
+        if source_uid is not None:
+            lengths = nx.single_source_shortest_path_length(self._graph, source_uid)
+            return max(lengths.values())
+        if not nx.is_connected(self._graph):
+            raise ValueError("diameter of a disconnected communication graph is undefined")
+        return nx.diameter(self._graph)
+
+    def bfs_layers(self, source_uid: int) -> Dict[int, int]:
+        """Hop distance from ``source_uid`` to every reachable node (by ID)."""
+        return dict(nx.single_source_shortest_path_length(self._graph, source_uid))
+
+    # ------------------------------------------------------------------ #
+    # Cluster bookkeeping helpers (used by algorithms to publish results
+    # and by analysis to validate them).
+    # ------------------------------------------------------------------ #
+
+    def cluster_assignment(self) -> Dict[int, Optional[int]]:
+        """Mapping ``uid -> cluster`` for all nodes."""
+        return {node.uid: node.cluster for node in self._nodes}
+
+    def set_cluster_assignment(self, assignment: Mapping[int, int]) -> None:
+        """Install a cluster assignment (``uid -> cluster``)."""
+        for uid, cluster in assignment.items():
+            self.node(uid).cluster = int(cluster)
+
+    def reset_protocol_state(self) -> None:
+        """Clear per-execution node state before running a new algorithm."""
+        for node in self._nodes:
+            node.reset_protocol_state()
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers.
+    # ------------------------------------------------------------------ #
+
+    def _build_communication_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(node.uid for node in self._nodes)
+        radius = self._params.communication_radius
+        tree = cKDTree(self._positions)
+        pairs = tree.query_pairs(r=radius + 1e-12, output_type="ndarray")
+        for i, j in pairs:
+            graph.add_edge(self._nodes[int(i)].uid, self._nodes[int(j)].uid)
+        return graph
+
+    def describe(self) -> str:
+        """One-line summary for logs and examples."""
+        return (
+            f"WirelessNetwork(n={self.size}, N={self.id_space}, Delta={self.delta_bound}, "
+            f"max_degree={self.max_degree()}, connected={self.is_connected()})"
+        )

@@ -1,0 +1,64 @@
+"""Node abstraction for the ad hoc SINR model.
+
+A node carries only the knowledge the paper grants it (Section 1.1): a unique
+identifier from ``[N]``, the SINR parameters and the global upper bounds
+``N`` (ID space / network size bound) and ``Delta`` (degree bound).  Its
+geographic position exists in the simulator but is *never* exposed to the
+distributed algorithms -- they address nodes exclusively by ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """A single wireless device.
+
+    Attributes
+    ----------
+    uid:
+        The unique identifier in ``[1, N]`` (the paper's ``ID``).
+    index:
+        The dense 0-based index of the node inside its network; used only by
+        the simulator and the analysis code, never by protocols.
+    position:
+        Coordinates on the plane.  Hidden from protocols.
+    cluster:
+        The cluster identifier assigned by a clustering algorithm, or ``None``
+        if the node is (still) unclustered.
+    label:
+        The label assigned by imperfect labeling, or ``None``.
+    awake:
+        Whether the node participates in the current execution (relevant for
+        the non-spontaneous wake-up model of global broadcast).
+    """
+
+    uid: int
+    index: int
+    position: Tuple[float, float]
+    cluster: Optional[int] = None
+    label: Optional[int] = None
+    awake: bool = True
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.uid <= 0:
+            raise ValueError(f"node IDs must be positive, got {self.uid}")
+        if self.index < 0:
+            raise ValueError(f"node index must be non-negative, got {self.index}")
+
+    def reset_protocol_state(self) -> None:
+        """Clear per-execution state (cluster, label, wakefulness, metadata)."""
+        self.cluster = None
+        self.label = None
+        self.awake = True
+        self.metadata.clear()
+
+    def describe(self) -> str:
+        """Short human-readable summary used by examples and traces."""
+        cluster = "-" if self.cluster is None else str(self.cluster)
+        label = "-" if self.label is None else str(self.label)
+        return f"Node(uid={self.uid}, cluster={cluster}, label={label}, awake={self.awake})"

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (networks, finished clusterings, broadcast runs) are
+module- or session-scoped so that the many assertions about them do not pay
+the simulation cost repeatedly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AlgorithmConfig, build_clustering, local_broadcast
+from repro.simulation import SINRSimulator
+from repro.sinr import SINRParameters, deployment
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> AlgorithmConfig:
+    """Small algorithm constants for tiny test networks."""
+    return AlgorithmConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def default_params() -> SINRParameters:
+    """The default SINR parameters."""
+    return SINRParameters.default()
+
+
+@pytest.fixture(scope="session")
+def small_uniform_network():
+    """A small connected uniform deployment (the workhorse network)."""
+    return deployment.uniform_random(30, area_side=2.5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def hotspot_network():
+    """Three dense hotspots -- the clustered sensor-field scenario."""
+    return deployment.gaussian_hotspots(3, 8, spread=0.15, separation=1.5, seed=5)
+
+
+@pytest.fixture(scope="session")
+def strip_network():
+    """A 5-hop strip with 4 nodes per hop -- controlled diameter and density."""
+    return deployment.connected_strip(hops=5, nodes_per_hop=4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def clustering_on_hotspots(hotspot_network, fast_config):
+    """A finished clustering run on the hotspot network (shared by many tests)."""
+    sim = SINRSimulator(hotspot_network)
+    result = build_clustering(sim, config=fast_config)
+    return sim, result
+
+
+@pytest.fixture(scope="session")
+def local_broadcast_on_uniform(small_uniform_network, fast_config):
+    """A finished local broadcast on the uniform network (shared by many tests)."""
+    sim = SINRSimulator(small_uniform_network)
+    result = local_broadcast(sim, config=fast_config)
+    return sim, result

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_cluster_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["cluster"])
+        assert args.deployment == "uniform"
+        assert args.preset == "fast"
+        assert args.nodes == 40
+
+    def test_gadget_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["gadget", "--delta", "12"])
+        assert args.delta == 12
+
+    def test_unknown_deployment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cluster", "--deployment", "torus"])
+
+
+class TestCommands:
+    def test_cluster_command(self, capsys):
+        code = main(["cluster", "--deployment", "hotspots", "--nodes", "18", "--hotspots", "3", "--seed", "4"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "clusters:" in output
+        assert "valid clustering: True" in output
+
+    def test_local_broadcast_command(self, capsys):
+        code = main(["local-broadcast", "--deployment", "line", "--nodes", "5", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "completed: True" in output
+
+    def test_global_broadcast_command(self, capsys):
+        code = main(
+            ["global-broadcast", "--deployment", "strip", "--hops", "3", "--nodes-per-hop", "3", "--seed", "2"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "reached all nodes: True" in output
+        assert "phase 0" in output
+
+    def test_global_broadcast_custom_source(self, capsys):
+        code = main(
+            [
+                "global-broadcast",
+                "--deployment",
+                "line",
+                "--nodes",
+                "4",
+                "--seed",
+                "2",
+                "--source",
+                "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "source: 2" in output
+
+    def test_leader_election_command(self, capsys):
+        code = main(["leader-election", "--deployment", "ring", "--nodes", "15", "--clusters", "3", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "leader:" in output
+
+    def test_gadget_command(self, capsys):
+        code = main(["gadget", "--delta", "6"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "fact 2.1" in output and "True" in output

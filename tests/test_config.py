@@ -1,0 +1,87 @@
+"""Tests for AlgorithmConfig (repro.core.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlgorithmConfig
+from repro.sinr.model import SINRParameters
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = AlgorithmConfig()
+        assert config.kappa >= 2
+        assert config.effective_candidate_cap >= config.kappa
+
+    def test_rejects_small_kappa(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(kappa=1)
+
+    def test_rejects_small_rho(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(rho=0)
+
+    def test_rejects_small_sns_parameter(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(sns_parameter=1)
+
+    def test_rejects_nonpositive_size_factor(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(selector_size_factor=0.0)
+
+    def test_rejects_bad_radius_reduction_interval(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(radius_reduction_interval=0)
+
+    def test_explicit_candidate_cap(self):
+        config = AlgorithmConfig(candidate_cap=11)
+        assert config.effective_candidate_cap == 11
+
+
+class TestLoopBounds:
+    def test_sparsification_iterations_capped(self):
+        config = AlgorithmConfig(max_sparsification_iterations=5)
+        assert config.sparsification_iterations(100) == 5
+        assert config.sparsification_iterations(3) == 3
+
+    def test_sparsification_iterations_paper_bound(self):
+        config = AlgorithmConfig(max_sparsification_iterations=None)
+        assert config.sparsification_iterations(17) == 17
+
+    def test_unclustered_iterations_use_packing_constant(self):
+        params = SINRParameters.default()
+        faithful = AlgorithmConfig(unclustered_repetitions=None)
+        capped = AlgorithmConfig(unclustered_repetitions=3)
+        assert faithful.unclustered_iterations(params) > capped.unclustered_iterations(params)
+
+    def test_radius_reduction_iterations(self):
+        params = SINRParameters.default()
+        config = AlgorithmConfig(radius_reduction_repetitions=4)
+        assert config.radius_reduction_iterations(params, 2.0) == 4
+
+    def test_full_sparsification_levels(self):
+        config = AlgorithmConfig()
+        assert config.full_sparsification_levels(1) == 1
+        assert config.full_sparsification_levels(16) >= 9
+        assert config.full_sparsification_levels(64) > config.full_sparsification_levels(16)
+
+
+class TestPresets:
+    def test_fast_preset_is_small(self):
+        fast = AlgorithmConfig.fast()
+        default = AlgorithmConfig()
+        assert fast.kappa <= default.kappa
+        assert fast.selector_size_factor <= default.selector_size_factor
+
+    def test_faithful_preset_uses_paper_bounds(self):
+        faithful = AlgorithmConfig.faithful()
+        assert faithful.faithful_selectors
+        assert faithful.max_sparsification_iterations is None
+        assert not faithful.adaptive_termination
+
+    def test_scaled_changes_only_size_factor(self):
+        config = AlgorithmConfig()
+        scaled = config.scaled(0.5)
+        assert scaled.selector_size_factor == 0.5
+        assert scaled.kappa == config.kappa

@@ -1,0 +1,118 @@
+"""Tests for the deployment generators (repro.sinr.deployment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sinr import deployment
+from repro.sinr.model import SINRParameters
+
+
+class TestUniformRandom:
+    def test_size_and_seed_determinism(self):
+        a = deployment.uniform_random(25, seed=3)
+        b = deployment.uniform_random(25, seed=3)
+        assert a.size == 25
+        assert np.allclose(a.positions, b.positions)
+        assert a.uids == b.uids
+
+    def test_different_seeds_differ(self):
+        a = deployment.uniform_random(25, seed=3)
+        b = deployment.uniform_random(25, seed=4)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_positions_inside_area(self):
+        network = deployment.uniform_random(30, area_side=2.0, seed=1)
+        assert np.all(network.positions >= 0.0) and np.all(network.positions <= 2.0)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            deployment.uniform_random(0)
+
+    def test_id_shuffling_can_be_disabled(self):
+        network = deployment.uniform_random(10, seed=1, shuffle_ids=False)
+        assert network.uids == list(range(1, 11))
+
+
+class TestGrid:
+    def test_grid_size(self):
+        network = deployment.grid(3, 4, spacing=0.5, seed=0)
+        assert network.size == 12
+
+    def test_grid_without_jitter_is_regular(self):
+        network = deployment.grid(2, 2, spacing=1.0, seed=0, shuffle_ids=False)
+        xs = sorted(p[0] for p in network.positions)
+        assert xs == pytest.approx([0.0, 0.0, 1.0, 1.0])
+
+    def test_grid_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            deployment.grid(0, 3)
+
+
+class TestHotspots:
+    def test_hotspot_count_and_size(self):
+        network = deployment.gaussian_hotspots(3, 7, seed=2)
+        assert network.size == 21
+
+    def test_hotspots_are_dense(self):
+        network = deployment.gaussian_hotspots(2, 10, spread=0.1, separation=3.0, seed=2)
+        assert network.density() >= 8
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            deployment.gaussian_hotspots(0, 5)
+
+
+class TestDenseBall:
+    def test_all_nodes_within_radius(self):
+        network = deployment.dense_ball(20, radius=0.5, center=(1.0, 1.0), seed=4)
+        center = np.array([1.0, 1.0])
+        distances = np.linalg.norm(network.positions - center, axis=1)
+        assert np.all(distances <= 0.5 + 1e-9)
+
+    def test_dense_ball_is_single_hop(self):
+        network = deployment.dense_ball(15, radius=0.3, seed=4)
+        assert network.max_degree() == network.size - 1
+
+
+class TestStripAndLine:
+    def test_strip_is_connected_with_expected_size(self):
+        network = deployment.connected_strip(hops=6, nodes_per_hop=3, seed=1)
+        assert network.size == 18
+        assert network.is_connected()
+
+    def test_strip_diameter_grows_with_hops(self):
+        short = deployment.connected_strip(hops=3, nodes_per_hop=2, seed=1)
+        long = deployment.connected_strip(hops=9, nodes_per_hop=2, seed=1)
+        assert long.diameter_hops(long.uids[0]) > short.diameter_hops(short.uids[0])
+
+    def test_line_is_a_path(self):
+        network = deployment.line(6)
+        assert network.is_connected()
+        assert network.max_degree() == 2
+        assert network.diameter_hops() == 5
+
+    def test_line_custom_spacing_disconnects(self):
+        network = deployment.line(3, spacing=2.0)
+        assert not network.is_connected()
+
+    def test_strip_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            deployment.connected_strip(0, 3)
+
+
+class TestTwoHopClusters:
+    def test_ring_of_clusters_connected(self):
+        network = deployment.two_hop_clusters(4, 5, seed=3)
+        assert network.size == 20
+        assert network.is_connected()
+
+    def test_single_cluster_allowed(self):
+        network = deployment.two_hop_clusters(1, 6, seed=3)
+        assert network.size == 6
+
+    def test_custom_params_are_propagated(self):
+        params = SINRParameters(epsilon=0.3)
+        network = deployment.two_hop_clusters(3, 4, params=params, seed=3)
+        assert network.params.epsilon == 0.3

@@ -1,0 +1,131 @@
+"""Tests for the round engine, messages and traces (repro.simulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import SINRSimulator
+from repro.simulation.messages import Message, message_bits
+from repro.simulation.trace import ExecutionTrace, RoundRecord
+from repro.sinr.network import WirelessNetwork
+
+
+def path_network(n: int = 4, spacing: float = 0.7) -> WirelessNetwork:
+    positions = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+    return WirelessNetwork(positions)
+
+
+class TestMessages:
+    def test_with_payload(self):
+        message = Message(sender=3, tag="x").with_payload(1, 2)
+        assert message.payload == (1, 2)
+        assert message.sender == 3
+
+    def test_message_bits_within_logarithmic_budget(self):
+        message = Message(sender=3, tag="x", cluster=5, payload=(7,))
+        bits = message_bits(message, id_space=256)
+        # 3 integer fields of 9 bits (ceil(log2(257))) plus a constant tag.
+        assert bits <= 3 * 9 + 8
+
+    def test_message_bits_grows_with_id_space(self):
+        message = Message(sender=3)
+        assert message_bits(message, 10**6) > message_bits(message, 10)
+
+    def test_messages_are_frozen(self):
+        message = Message(sender=1)
+        with pytest.raises(Exception):
+            message.sender = 2  # type: ignore[misc]
+
+
+class TestRunRound:
+    def test_single_transmitter_reaches_neighbor(self):
+        sim = SINRSimulator(path_network())
+        delivered = sim.run_round({1: Message(sender=1, tag="hi")})
+        assert delivered[2].tag == "hi"
+        assert sim.current_round == 1
+        assert sim.messages_sent == 1
+        assert sim.messages_delivered >= 1
+
+    def test_transmitter_does_not_hear_itself(self):
+        sim = SINRSimulator(path_network())
+        delivered = sim.run_round({1: Message(sender=1)})
+        assert 1 not in delivered
+
+    def test_empty_round_advances_counter(self):
+        sim = SINRSimulator(path_network())
+        assert sim.run_round({}) == {}
+        assert sim.current_round == 1
+
+    def test_listeners_restriction(self):
+        sim = SINRSimulator(path_network())
+        delivered = sim.run_round({1: Message(sender=1)}, listeners=[3])
+        assert 2 not in delivered
+
+    def test_sleeping_nodes_do_not_listen_by_default(self):
+        sim = SINRSimulator(path_network())
+        sim.put_all_to_sleep(except_for=[1])
+        delivered = sim.run_round({1: Message(sender=1)})
+        assert delivered == {}
+
+    def test_sleeping_nodes_listen_when_listed_explicitly(self):
+        network = path_network()
+        sim = SINRSimulator(network)
+        sim.put_all_to_sleep(except_for=[1])
+        delivered = sim.run_round({1: Message(sender=1)}, listeners=network.uids)
+        assert 2 in delivered
+
+    def test_run_silent_rounds(self):
+        sim = SINRSimulator(path_network())
+        sim.run_silent_rounds(10)
+        assert sim.current_round == 10
+        with pytest.raises(ValueError):
+            sim.run_silent_rounds(-1)
+
+    def test_reset_counters(self):
+        sim = SINRSimulator(path_network())
+        sim.run_round({1: Message(sender=1)})
+        sim.reset_counters()
+        assert sim.current_round == 0
+        assert sim.messages_sent == 0
+
+
+class TestWakefulness:
+    def test_put_all_to_sleep_and_wake(self):
+        sim = SINRSimulator(path_network())
+        sim.put_all_to_sleep(except_for=[2])
+        assert sim.awake_nodes() == [2]
+        assert set(sim.sleeping_nodes()) == {1, 3, 4}
+        sim.wake([3])
+        assert sim.is_awake(3)
+        assert not sim.is_awake(4)
+
+
+class TestTrace:
+    def test_trace_records_rounds(self):
+        sim = SINRSimulator(path_network(), record_trace=True)
+        sim.run_round({1: Message(sender=1)}, phase="seed")
+        sim.run_silent_rounds(3, phase="idle")
+        trace = sim.trace
+        assert trace is not None
+        assert len(trace) == 2
+        assert trace.phases() == ["seed", "idle"]
+        assert trace.records[0].transmitters == (1,)
+        assert trace.records[1].skipped == 3
+
+    def test_trace_queries(self):
+        trace = ExecutionTrace()
+        trace.append(RoundRecord(index=1, phase="a", transmitters=(1,), deliveries={2: 1}))
+        trace.append(RoundRecord(index=2, phase="b", transmitters=(3,), deliveries={}))
+        assert trace.first_delivery_to(2).index == 1
+        assert trace.first_delivery_to(9) is None
+        assert trace.deliveries_from(1) == [(1, 2)]
+        assert trace.total_transmissions() == 2
+        assert trace.total_deliveries() == 1
+        summary = trace.summary()
+        assert summary["rounds"] == 2
+        assert summary["deliveries"] == 1
+
+    def test_no_trace_by_default(self):
+        sim = SINRSimulator(path_network())
+        assert sim.trace is None

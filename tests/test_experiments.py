@@ -1,0 +1,80 @@
+"""Tests for the programmatic experiment runners (repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AlgorithmConfig
+from repro.experiments import (
+    clustering_sweep,
+    gadget_delay_sweep,
+    global_broadcast_sweep,
+    local_broadcast_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AlgorithmConfig.fast()
+
+
+class TestLocalBroadcastSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, config):
+        return local_broadcast_sweep(densities=[4, 6], config=config, include_baselines=True)
+
+    def test_one_point_per_density(self, sweep):
+        assert len(sweep.points) == 2
+
+    def test_all_checks_pass(self, sweep):
+        assert sweep.all_checks_pass()
+
+    def test_series_and_algorithms(self, sweep):
+        labels = sweep.algorithms()
+        assert "this work" in labels and "TDMA" in labels
+        series = sweep.series("this work")
+        assert len(series) == 2
+        assert all(rounds > 0 for _, rounds in series)
+
+    def test_table_renders(self, sweep):
+        text = sweep.table.render()
+        assert "local broadcast sweep" in text
+        assert "this work" in text
+
+    def test_without_baselines(self, config):
+        sweep = local_broadcast_sweep(densities=[4], config=config, include_baselines=False)
+        assert sweep.algorithms() == ["this work"]
+
+
+class TestGlobalBroadcastSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, config):
+        return global_broadcast_sweep(hop_counts=[3, 4], nodes_per_hop=3, config=config)
+
+    def test_checks_pass(self, sweep):
+        assert sweep.all_checks_pass()
+
+    def test_rounds_grow_with_diameter(self, sweep):
+        series = sweep.series("this work")
+        ordered = sorted(series)
+        assert ordered[0][1] <= ordered[-1][1]
+
+
+class TestClusteringSweep:
+    def test_every_point_is_a_valid_clustering(self, config):
+        sweep = clustering_sweep(densities=[4, 6], config=config)
+        assert sweep.all_checks_pass()
+        for point in sweep.points:
+            assert point.extra["clusters"] >= 1
+
+
+class TestGadgetDelaySweep:
+    def test_omega_delta_holds_for_every_delta(self):
+        sweep = gadget_delay_sweep(deltas=[4, 8])
+        assert sweep.all_checks_pass()
+        delays = [rounds for _, rounds in sweep.series("delay")]
+        assert delays[0] <= delays[1]
+
+    def test_benign_variant_also_measurable(self):
+        sweep = gadget_delay_sweep(deltas=[4], adversarial=False)
+        assert len(sweep.points) == 1

@@ -1,0 +1,169 @@
+"""Tests for the lower-bound constructions (Theorem 6, Figures 5-7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbound import (
+    adversarial_id_assignment,
+    buffer_length,
+    build_chain,
+    build_gadget,
+    check_blocking_property,
+    check_target_property,
+    exponential_backoff_algorithm,
+    external_interference_at_core,
+    gadget_interference_budget,
+    gadget_layout,
+    geometric_base,
+    lower_bound_parameters,
+    measure_gadget_delivery,
+    round_robin_algorithm,
+    schedule_algorithm,
+    theoretical_lower_bound,
+)
+from repro.selectors.ssf import prime_residue_ssf
+
+
+@pytest.fixture(scope="module")
+def params():
+    return lower_bound_parameters()
+
+
+class TestGadgetGeometry:
+    def test_core_span_between_two_and_three_epsilon(self, params):
+        layout = gadget_layout(8, params)
+        assert 2 * params.epsilon < layout.core_span() < 3 * params.epsilon
+
+    def test_source_within_range_of_whole_core(self, params):
+        network, layout = build_gadget(8, params)
+        physics = network.physics
+        for index in layout.core_indices:
+            assert layout.distance(layout.source_index, index) <= 1.0
+            assert physics.hears_alone(layout.source_index, index)
+
+    def test_target_only_reachable_from_last_core_node(self, params):
+        layout = gadget_layout(8, params)
+        for index in layout.core_indices:
+            distance = layout.distance(index, layout.target_index)
+            if index == layout.last_core_index:
+                assert distance <= 1.0
+            else:
+                assert distance > 1.0
+
+    def test_geometric_base_exceeds_two_for_moderate_beta(self, params):
+        assert geometric_base(params) > 2.0
+
+    def test_rejects_bad_delta(self, params):
+        with pytest.raises(ValueError):
+            gadget_layout(0, params)
+
+    def test_underflow_detected_for_huge_delta(self, params):
+        with pytest.raises(ValueError):
+            gadget_layout(60, params)
+
+    def test_layout_size(self, params):
+        layout = gadget_layout(6, params)
+        assert layout.size == 6 + 4
+        assert len(list(layout.core_indices)) == 6 + 2
+
+
+class TestGadgetFacts:
+    @pytest.mark.parametrize("delta", [4, 8, 12])
+    def test_fact_2_1_blocking(self, params, delta):
+        network, layout = build_gadget(delta, params)
+        assert check_blocking_property(layout, network)
+
+    @pytest.mark.parametrize("delta", [4, 8, 12])
+    def test_fact_2_2_target(self, params, delta):
+        network, layout = build_gadget(delta, params)
+        assert check_target_property(layout, network)
+
+    def test_interference_budget_positive(self, params):
+        layout = gadget_layout(8, params)
+        assert gadget_interference_budget(layout) > 0
+
+
+class TestChains:
+    def test_buffer_length_grows_with_delta(self, params):
+        assert buffer_length(64, params) >= buffer_length(8, params) >= 1
+
+    def test_chain_structure(self, params):
+        network, chain = build_chain(3, 6, params)
+        assert chain.gadget_count == 3
+        assert chain.size == network.size
+        assert len(chain.buffer_indices) == 2
+        assert chain.source_index == 0
+        assert chain.final_target_index == chain.size - 1
+
+    def test_chain_is_connected(self, params):
+        network, chain = build_chain(3, 6, params)
+        assert network.is_connected()
+
+    def test_fact_3_interference_below_budget(self, params):
+        network, chain = build_chain(4, 6, params)
+        budget = gadget_interference_budget(chain.gadget_layouts[0])
+        for gadget in range(chain.gadget_count):
+            assert external_interference_at_core(network, chain, gadget) <= budget
+
+    def test_rejects_empty_chain(self, params):
+        with pytest.raises(ValueError):
+            build_chain(0, 4, params)
+
+    def test_theoretical_lower_bound_shape(self):
+        assert theoretical_lower_bound(10, 16, 3.0) == pytest.approx(10 * 16 ** (2.0 / 3.0))
+        assert theoretical_lower_bound(10, 16, 3.0) < 10 * 16
+
+
+class TestAdversary:
+    def test_adversarial_assignment_uses_distinct_ids(self):
+        algorithm = round_robin_algorithm(64)
+        assignment = adversarial_id_assignment(algorithm, delta=8, id_pool=range(2, 20))
+        assert len(assignment.core_ids) == 10
+        assert len(set(assignment.core_ids)) == 10
+
+    def test_assignment_requires_enough_ids(self):
+        algorithm = round_robin_algorithm(64)
+        with pytest.raises(ValueError):
+            adversarial_id_assignment(algorithm, delta=8, id_pool=range(2, 6))
+
+    def test_pair_rounds_are_increasing(self):
+        algorithm = round_robin_algorithm(64)
+        assignment = adversarial_id_assignment(algorithm, delta=10, id_pool=range(2, 30))
+        assert assignment.pair_rounds == sorted(assignment.pair_rounds)
+
+    @pytest.mark.parametrize(
+        "make_algorithm",
+        [
+            lambda n: round_robin_algorithm(n),
+            lambda n: exponential_backoff_algorithm(n),
+            lambda n: schedule_algorithm(prime_residue_ssf(n, 3)),
+        ],
+    )
+    def test_adversarial_delivery_takes_at_least_delta_rounds(self, make_algorithm):
+        delta = 8
+        id_space = 4 * (delta + 4)
+        algorithm = make_algorithm(id_space)
+        result = measure_gadget_delivery(
+            algorithm, delta=delta, id_pool=list(range(2, id_space)), adversarial=True
+        )
+        assert result.delivery_round is None or result.delivery_round >= delta
+
+    def test_adversarial_no_faster_than_benign(self):
+        delta = 8
+        id_space = 4 * (delta + 4)
+        algorithm = round_robin_algorithm(id_space)
+        adversarial = measure_gadget_delivery(
+            algorithm, delta=delta, id_pool=list(range(2, id_space)), adversarial=True
+        )
+        benign = measure_gadget_delivery(
+            algorithm, delta=delta, id_pool=list(range(2, id_space)), adversarial=False
+        )
+        if adversarial.delivery_round is not None and benign.delivery_round is not None:
+            assert adversarial.delivery_round >= benign.delivery_round
+
+    def test_oblivious_algorithm_helpers(self):
+        algorithm = round_robin_algorithm(8)
+        assert algorithm.transmits(3, 3)
+        assert algorithm.first_transmission_after(3, 3, 20) == 11
+        assert algorithm.first_transmission_after(3, 3, 5) is None

@@ -1,0 +1,184 @@
+"""Tests for schedule execution against the simulator (repro.simulation.schedule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.selectors.ssf import TransmissionSchedule, round_robin_schedule
+from repro.selectors.wcss import ClusterAwareSchedule
+from repro.simulation.engine import SINRSimulator
+from repro.simulation.messages import Message
+from repro.simulation.metrics import ExperimentSample, RoundMeter, summarize_samples
+from repro.simulation.protocol import NodeProtocol, run_protocol
+from repro.simulation.schedule import run_cluster_schedule, run_round_robin, run_schedule
+from repro.sinr.network import WirelessNetwork
+
+
+def path_network(n: int = 4, spacing: float = 0.7) -> WirelessNetwork:
+    positions = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+    return WirelessNetwork(positions)
+
+
+class TestRunSchedule:
+    def test_round_robin_schedule_serves_all_neighbors(self):
+        network = path_network(4)
+        sim = SINRSimulator(network)
+        schedule = round_robin_schedule(network.id_space)
+        result = run_schedule(sim, schedule, participants=network.uids)
+        assert sim.current_round == len(schedule)
+        for uid in network.uids:
+            for neighbor in network.neighbors(uid):
+                assert uid in result.senders_heard_by(neighbor)
+
+    def test_only_participants_transmit(self):
+        network = path_network(4)
+        sim = SINRSimulator(network)
+        schedule = round_robin_schedule(network.id_space)
+        result = run_schedule(sim, schedule, participants=[2])
+        assert set(result.transmitted_rounds) == {2}
+
+    def test_empty_rounds_are_charged_but_not_evaluated(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+        schedule = TransmissionSchedule(
+            id_space=network.id_space,
+            rounds=(frozenset({1}), frozenset({network.id_space}), frozenset({2})),
+        )
+        run_schedule(sim, schedule, participants=[1, 2])
+        assert sim.current_round == 3
+
+    def test_custom_message_factory(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+        schedule = round_robin_schedule(network.id_space)
+        result = run_schedule(
+            sim,
+            schedule,
+            participants=[1],
+            message_factory=lambda uid: Message(sender=uid, tag="custom", payload=(42,)),
+        )
+        events = result.heard_by(2)
+        assert events and events[0].message.payload == (42,)
+
+    def test_exchanged_requires_both_directions(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+        schedule = round_robin_schedule(network.id_space)
+        result = run_schedule(sim, schedule, participants=network.uids)
+        assert result.exchanged(1, 2)
+        assert not result.exchanged(1, 3)  # two hops apart
+
+
+class TestRunClusterSchedule:
+    def test_cluster_gating(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+        schedule = ClusterAwareSchedule(
+            id_space=network.id_space,
+            node_rounds=(frozenset({1, 2}), frozenset({1, 2})),
+            cluster_rounds=(frozenset({7}), frozenset({8})),
+        )
+        cluster_of = {1: 7, 2: 8}
+        result = run_cluster_schedule(sim, schedule, [1, 2], cluster_of=cluster_of)
+        assert result.transmitted_rounds[1] == [0]
+        assert result.transmitted_rounds[2] == [1]
+        assert sim.current_round == 2
+
+    def test_messages_carry_cluster_by_default_factory(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+        schedule = ClusterAwareSchedule(
+            id_space=network.id_space,
+            node_rounds=(frozenset({1}),),
+            cluster_rounds=(frozenset({7}),),
+        )
+        result = run_cluster_schedule(
+            sim,
+            schedule,
+            [1],
+            cluster_of={1: 7},
+            message_factory=lambda uid: Message(sender=uid, tag="c", cluster=7),
+        )
+        assert result.heard_by(2)[0].message.cluster == 7
+
+
+class TestRunRoundRobin:
+    def test_one_round_per_participant(self):
+        network = path_network(4)
+        sim = SINRSimulator(network)
+        result = run_round_robin(sim, [3, 1])
+        assert sim.current_round == 2
+        assert result.transmitted_rounds[1] == [0]
+        assert result.transmitted_rounds[3] == [1]
+
+
+class TestProtocolDriver:
+    def test_simple_flood_protocol(self):
+        network = path_network(4)
+        sim = SINRSimulator(network)
+
+        class Flood(NodeProtocol):
+            def __init__(self, uid, informed):
+                super().__init__(uid)
+                self.informed = informed
+
+            def on_round(self, round_number):
+                if self.informed:
+                    return Message(sender=self.uid, tag="flood")
+                return None
+
+            def on_receive(self, round_number, message):
+                self.informed = True
+
+            def finished(self):
+                return self.informed
+
+        protocols = {uid: Flood(uid, informed=(uid == 1)) for uid in network.uids}
+        outcome = run_protocol(sim, protocols, max_rounds=50, only_awake=False)
+        assert outcome.completed
+        assert all(p.informed for p in protocols.values())
+
+    def test_round_limit_respected(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+
+        class Silent(NodeProtocol):
+            def on_round(self, round_number):
+                return None
+
+        protocols = {uid: Silent(uid) for uid in network.uids}
+        outcome = run_protocol(sim, protocols, max_rounds=7)
+        assert outcome.rounds == 7
+        assert not outcome.completed
+
+    def test_rejects_nonpositive_round_limit(self):
+        sim = SINRSimulator(path_network(2))
+        with pytest.raises(ValueError):
+            run_protocol(sim, {}, max_rounds=0)
+
+
+class TestMetrics:
+    def test_round_meter_stages(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+        meter = RoundMeter(sim)
+        with meter.stage("a"):
+            sim.run_round({1: Message(sender=1)})
+        with meter.stage("b"):
+            sim.run_silent_rounds(5)
+        assert meter.rounds_of("a") == 1
+        assert meter.rounds_of("b") == 5
+        assert meter.total_rounds() == 6
+        assert meter.report()["a"]["messages_sent"] == 1
+        assert meter.rounds_of("missing") == 0
+
+    def test_summarize_samples(self):
+        samples = [
+            ExperimentSample(parameters={"n": 1}, rounds=10, messages_sent=5),
+            ExperimentSample(parameters={"n": 2}, rounds=20, messages_sent=15),
+        ]
+        summary = summarize_samples(samples)
+        assert summary["rounds"] == pytest.approx(15.0)
+        assert summary["messages_sent"] == pytest.approx(10.0)
+        assert summarize_samples([])["rounds"] == 0.0

@@ -1,0 +1,131 @@
+"""Tests for strongly selective families and transmission schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selectors.ssf import (
+    TransmissionSchedule,
+    first_primes_at_least,
+    greedy_random_ssf,
+    prime_residue_ssf,
+    primes_up_to,
+    round_robin_schedule,
+    verify_ssf,
+)
+
+
+class TestPrimes:
+    def test_primes_up_to(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(2) == [2]
+        assert primes_up_to(20) == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_first_primes_at_least(self):
+        assert first_primes_at_least(3, 10) == [11, 13, 17]
+        assert first_primes_at_least(0, 10) == []
+
+
+class TestTransmissionSchedule:
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            TransmissionSchedule(id_space=4, rounds=(frozenset({5}),))
+
+    def test_rejects_nonpositive_id_space(self):
+        with pytest.raises(ValueError):
+            TransmissionSchedule(id_space=0, rounds=())
+
+    def test_length_iteration_and_membership(self):
+        schedule = TransmissionSchedule(id_space=4, rounds=(frozenset({1, 2}), frozenset({3})))
+        assert len(schedule) == 2
+        assert schedule.transmits_in(1, 0)
+        assert not schedule.transmits_in(1, 1)
+        assert schedule.rounds_of(3) == [1]
+        assert [set(r) for r in schedule] == [{1, 2}, {3}]
+
+    def test_restricted_to(self):
+        schedule = TransmissionSchedule(id_space=4, rounds=(frozenset({1, 2, 3}),))
+        restricted = schedule.restricted_to({2})
+        assert list(restricted.rounds[0]) == [2]
+
+    def test_repeated_and_concatenated(self):
+        schedule = TransmissionSchedule(id_space=4, rounds=(frozenset({1}),))
+        assert len(schedule.repeated(3)) == 3
+        other = TransmissionSchedule(id_space=4, rounds=(frozenset({2}),))
+        assert len(schedule.concatenated(other)) == 2
+        with pytest.raises(ValueError):
+            schedule.repeated(0)
+        with pytest.raises(ValueError):
+            schedule.concatenated(TransmissionSchedule(id_space=5, rounds=()))
+
+
+class TestRoundRobin:
+    def test_each_node_has_private_round(self):
+        schedule = round_robin_schedule(5)
+        assert len(schedule) == 5
+        for uid in range(1, 6):
+            rounds = schedule.rounds_of(uid)
+            assert len(rounds) == 1
+            assert schedule.rounds[rounds[0]] == frozenset({uid})
+
+    def test_restricted_round_robin(self):
+        schedule = round_robin_schedule(10, ids=[2, 4])
+        assert len(schedule) == 2
+
+
+class TestPrimeResidueSSF:
+    def test_is_strongly_selective_small(self):
+        schedule = prime_residue_ssf(12, 3)
+        assert verify_ssf(schedule, 3)
+
+    def test_k_one_single_round(self):
+        schedule = prime_residue_ssf(10, 1)
+        assert len(schedule) == 1
+        assert schedule.rounds[0] == frozenset(range(1, 11))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            prime_residue_ssf(10, 0)
+
+    def test_covers_every_id(self):
+        schedule = prime_residue_ssf(20, 4)
+        for uid in range(1, 21):
+            assert schedule.rounds_of(uid)
+
+    @given(st.integers(min_value=4, max_value=24), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_property_on_random_small_instances(self, id_space, k):
+        schedule = prime_residue_ssf(id_space, k)
+        assert verify_ssf(schedule, k)
+
+
+class TestGreedyRandomSSF:
+    def test_small_instance_is_selective(self):
+        schedule = greedy_random_ssf(10, 2, seed=1)
+        assert verify_ssf(schedule, 2)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = greedy_random_ssf(16, 3, seed=5)
+        b = greedy_random_ssf(16, 3, seed=5)
+        assert a.rounds == b.rounds
+
+    def test_length_controlled_by_max_rounds(self):
+        schedule = greedy_random_ssf(16, 3, seed=5, max_rounds=37)
+        assert len(schedule) <= 37
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            greedy_random_ssf(10, 0)
+
+
+class TestVerifier:
+    def test_detects_non_selective_family(self):
+        # One round containing everything cannot select from sets of size 2.
+        schedule = TransmissionSchedule(id_space=4, rounds=(frozenset({1, 2, 3, 4}),))
+        assert not verify_ssf(schedule, 2)
+
+    def test_restricted_universe(self):
+        schedule = round_robin_schedule(6)
+        assert verify_ssf(schedule, 3, universe=[1, 2, 3])

@@ -1,0 +1,164 @@
+"""Tests for witnessed strong selectors (wss) and cluster-aware wcss."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selectors.wcss import (
+    ClusterAwareSchedule,
+    cluster_witness_rounds,
+    missing_cluster_witnesses,
+    random_wcss,
+    verify_wcss,
+    wcss_length,
+)
+from repro.selectors.wss import (
+    missing_witness_triples,
+    random_wss,
+    selection_rounds,
+    verify_wss,
+    witness_rounds,
+    wss_length,
+)
+
+
+class TestWSSLength:
+    def test_faithful_longer_than_compact(self):
+        assert wss_length(100, 4, faithful=True) > wss_length(100, 4, faithful=False)
+
+    def test_grows_with_k_and_n(self):
+        assert wss_length(100, 6) > wss_length(100, 3)
+        assert wss_length(1000, 4) > wss_length(10, 4)
+
+    def test_size_factor_scales_length(self):
+        assert wss_length(100, 4, size_factor=2.0) >= 2 * wss_length(100, 4) - 2
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            wss_length(100, 0)
+
+
+class TestRandomWSS:
+    def test_deterministic_for_fixed_seed(self):
+        assert random_wss(20, 3, seed=9).rounds == random_wss(20, 3, seed=9).rounds
+
+    def test_small_instance_has_witnessed_property(self):
+        schedule = random_wss(8, 2, seed=3, size_factor=3.0)
+        assert verify_wss(schedule, 2)
+
+    def test_witness_rounds_found_for_concrete_triple(self):
+        schedule = random_wss(30, 3, seed=1)
+        rounds = witness_rounds(schedule, selected=5, witness=9, blockers={5, 12, 17})
+        assert rounds
+        for t in rounds:
+            members = schedule.rounds[t]
+            assert 5 in members and 9 in members
+            assert 12 not in members and 17 not in members
+
+    def test_selection_rounds_ignore_witness(self):
+        schedule = random_wss(30, 3, seed=1)
+        rounds = selection_rounds(schedule, selected=5, blockers={5, 12, 17})
+        assert set(witness_rounds(schedule, 5, 9, {5, 12, 17})) <= set(rounds)
+
+    def test_missing_witness_triples_validates_input(self):
+        schedule = random_wss(10, 2, seed=0)
+        with pytest.raises(ValueError):
+            missing_witness_triples(schedule, [({1, 2}, 3, 4)])
+
+    def test_missing_witness_triples_empty_for_good_schedule(self):
+        schedule = random_wss(8, 2, seed=3, size_factor=3.0)
+        configs = [({1, 2}, 1, 5), ({3, 7}, 7, 2), ({4, 6}, 4, 8)]
+        assert missing_witness_triples(schedule, configs) == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            random_wss(0, 2)
+        with pytest.raises(ValueError):
+            random_wss(10, 0)
+
+    @given(st.integers(min_value=6, max_value=14))
+    @settings(max_examples=8, deadline=None)
+    def test_property_for_pairs_on_random_instances(self, id_space):
+        schedule = random_wss(id_space, 2, seed=11, size_factor=3.0)
+        assert verify_wss(schedule, 2)
+
+
+class TestClusterAwareSchedule:
+    def test_transmits_requires_node_and_cluster(self):
+        schedule = ClusterAwareSchedule(
+            id_space=8,
+            node_rounds=(frozenset({1, 2}),),
+            cluster_rounds=(frozenset({3}),),
+        )
+        assert schedule.transmits_in(1, 3, 0)
+        assert not schedule.transmits_in(1, 4, 0)
+        assert not schedule.transmits_in(5, 3, 0)
+
+    def test_round_is_free_of(self):
+        schedule = ClusterAwareSchedule(
+            id_space=8,
+            node_rounds=(frozenset({1}),),
+            cluster_rounds=(frozenset({3}),),
+        )
+        assert schedule.round_is_free_of(0, [4, 5])
+        assert not schedule.round_is_free_of(0, [3])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterAwareSchedule(id_space=8, node_rounds=(frozenset(),), cluster_rounds=())
+
+    def test_repeated(self):
+        schedule = random_wcss(10, 2, 2, seed=0)
+        assert len(schedule.repeated(2)) == 2 * len(schedule)
+        with pytest.raises(ValueError):
+            schedule.repeated(0)
+
+
+class TestRandomWCSS:
+    def test_deterministic_for_fixed_seed(self):
+        a = random_wcss(16, 3, 2, seed=4)
+        b = random_wcss(16, 3, 2, seed=4)
+        assert a.node_rounds == b.node_rounds and a.cluster_rounds == b.cluster_rounds
+
+    def test_faithful_length_longer(self):
+        assert wcss_length(64, 3, 2, faithful=True) > wcss_length(64, 3, 2)
+
+    def test_small_instance_has_property(self):
+        schedule = random_wcss(6, 2, 1, seed=2, size_factor=4.0)
+        assert verify_wcss(schedule, 2, 1, node_universe=[1, 2, 3, 4], cluster_universe=[1, 2])
+
+    def test_cluster_witness_rounds_respect_conflicts(self):
+        schedule = random_wcss(20, 3, 2, seed=7)
+        rounds = cluster_witness_rounds(
+            schedule, cluster=4, selected=3, witness=8, blockers={3, 11}, conflicts={5, 6}
+        )
+        assert rounds
+        for t in rounds:
+            assert 4 in schedule.cluster_rounds[t]
+            assert 5 not in schedule.cluster_rounds[t]
+            assert 6 not in schedule.cluster_rounds[t]
+            assert 3 in schedule.node_rounds[t] and 8 in schedule.node_rounds[t]
+            assert 11 not in schedule.node_rounds[t]
+
+    def test_missing_cluster_witnesses_validates_input(self):
+        schedule = random_wcss(10, 2, 2, seed=0)
+        with pytest.raises(ValueError):
+            missing_cluster_witnesses(schedule, [(1, {1, 2}, 3, 4, set())])
+
+    def test_missing_cluster_witnesses_empty_for_realistic_configs(self):
+        schedule = random_wcss(12, 2, 2, seed=5, size_factor=3.0)
+        configs = [
+            (1, {2, 5}, 2, 9, {3}),
+            (2, {1, 7}, 7, 4, {6}),
+        ]
+        assert missing_cluster_witnesses(schedule, configs) == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            random_wcss(0, 2, 2)
+        with pytest.raises(ValueError):
+            random_wcss(10, 0, 2)
+        with pytest.raises(ValueError):
+            random_wcss(10, 2, 0)

@@ -1,0 +1,150 @@
+"""Tests for sparsification (Algorithms 2-4, Lemmas 8-10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import density_of_subset, max_cluster_size
+from repro.core import AlgorithmConfig, full_sparsification, sparsify, sparsify_unclustered
+from repro.simulation import SINRSimulator
+from repro.sinr import deployment
+
+
+@pytest.fixture(scope="module")
+def config() -> AlgorithmConfig:
+    return AlgorithmConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def dense_network():
+    return deployment.dense_ball(20, radius=0.4, seed=13)
+
+
+class TestClusteredSparsification:
+    def test_reduces_largest_cluster(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        gamma = len(dense_network.uids)
+        level = sparsify(sim, dense_network.uids, gamma, config, cluster_of=cluster_of)
+        before = max_cluster_size(cluster_of)
+        after = max_cluster_size(cluster_of, subset=level.surviving)
+        assert after < before
+
+    def test_parents_are_survivors_of_same_cluster(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        level = sparsify(sim, dense_network.uids, 20, config, cluster_of=cluster_of)
+        for child, parent in level.parent.items():
+            assert child in level.removed
+            assert parent in level.surviving
+            assert cluster_of[child] == cluster_of[parent]
+
+    def test_children_and_parent_maps_consistent(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        level = sparsify(sim, dense_network.uids, 20, config, cluster_of=cluster_of)
+        for parent, children in level.children.items():
+            for child in children:
+                assert level.parent[child] == parent
+
+    def test_surviving_and_removed_partition_participants(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        level = sparsify(sim, dense_network.uids, 20, config, cluster_of=cluster_of)
+        participants = set(dense_network.uids)
+        assert level.surviving | level.removed == participants
+        assert not (level.surviving & level.removed)
+
+    def test_single_participant_is_noop(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        level = sparsify(sim, [dense_network.uids[0]], 4, config, cluster_of={dense_network.uids[0]: 1})
+        assert level.surviving == {dense_network.uids[0]}
+        assert not level.removed
+
+
+class TestUnclusteredSparsification:
+    def test_density_drops(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        gamma = dense_network.density()
+        sets, levels = sparsify_unclustered(sim, dense_network.uids, gamma, config)
+        assert len(sets) >= 2
+        before = density_of_subset(dense_network, sets[0])
+        after = density_of_subset(dense_network, sets[-1])
+        assert after < before
+
+    def test_sets_are_nested(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        sets, _ = sparsify_unclustered(sim, dense_network.uids, dense_network.density(), config)
+        for bigger, smaller in zip(sets, sets[1:]):
+            assert smaller <= bigger
+
+    def test_every_removed_node_has_a_surviving_parent(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        sets, levels = sparsify_unclustered(sim, dense_network.uids, dense_network.density(), config)
+        for level in levels:
+            for child in level.removed:
+                assert level.parent.get(child) in level.surviving
+
+
+class TestFullSparsification:
+    def test_final_set_is_sparse_and_nonempty(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        forest = full_sparsification(
+            sim, dense_network.uids, dense_network.density(), config, cluster_of=cluster_of
+        )
+        assert forest.roots
+        assert len(forest.roots) < len(dense_network.uids)
+        assert max_cluster_size(cluster_of, subset=forest.roots) <= max(
+            4, dense_network.density() // 2
+        )
+
+    def test_forest_is_acyclic_with_roots_in_final_set(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        forest = full_sparsification(
+            sim, dense_network.uids, dense_network.density(), config, cluster_of=cluster_of
+        )
+        for uid in dense_network.uids:
+            depth = forest.depth_of(uid)  # raises on cycles
+            assert depth <= len(forest.levels)
+            current = uid
+            while current in forest.parent:
+                current = forest.parent[current]
+            assert current in forest.roots
+
+    def test_trees_partition_all_participants(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        forest = full_sparsification(
+            sim, dense_network.uids, dense_network.density(), config, cluster_of=cluster_of
+        )
+        covered = set()
+        for root in forest.roots:
+            members = forest.tree_of(root)
+            assert not (covered & members - {root})
+            covered |= members
+        assert covered == set(dense_network.uids)
+
+    def test_removal_levels_increase_along_parent_chains(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        forest = full_sparsification(
+            sim, dense_network.uids, dense_network.density(), config, cluster_of=cluster_of
+        )
+        for child, parent in forest.parent.items():
+            child_level = forest.removal_level[child]
+            parent_level = forest.removal_level.get(parent)
+            if parent_level is not None:
+                assert child_level < parent_level
+
+    def test_sets_chain_matches_levels(self, dense_network, config):
+        sim = SINRSimulator(dense_network)
+        cluster_of = {uid: 1 for uid in dense_network.uids}
+        forest = full_sparsification(
+            sim, dense_network.uids, dense_network.density(), config, cluster_of=cluster_of
+        )
+        assert len(forest.sets) == len(forest.levels) + 1
+        for previous, level, current in zip(forest.sets, forest.levels, forest.sets[1:]):
+            assert current == level.surviving
+            assert previous - current == level.removed
