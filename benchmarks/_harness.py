@@ -10,6 +10,7 @@ report (EXPERIMENTS.md quotes these tables).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict
 
 import pytest
@@ -20,6 +21,19 @@ from repro.core import AlgorithmConfig
 def bench_config() -> AlgorithmConfig:
     """The algorithm constants used by every benchmark (laptop-scale)."""
     return AlgorithmConfig.fast()
+
+
+def bench_backend() -> str:
+    """Physics backend for the whole harness run.
+
+    Selected via the ``REPRO_BENCH_BACKEND`` environment variable (``dense``
+    or ``lazy``; default ``dense``), mirroring the CLI's ``--backend`` option:
+    pytest-benchmark owns the command line, so the harness takes its knob from
+    the environment, e.g.::
+
+        REPRO_BENCH_BACKEND=lazy pytest benchmarks/ -q
+    """
+    return os.environ.get("REPRO_BENCH_BACKEND", "dense")
 
 
 def run_once(benchmark, experiment: Callable[[], Dict]) -> Dict:

@@ -1,0 +1,156 @@
+"""Backend scaling benchmark: dense vs lazy physics on time and peak memory.
+
+Two claims of the backend refactor are measured here:
+
+1. **Batch throughput** -- on a fixed schedule over an n = 5000 deployment,
+   evaluating the schedule through ``receptions_batch`` is at least ~2x
+   faster than the equivalent round-by-round ``receptions`` loop (for both
+   backends).
+2. **Memory scaling** -- an n = 50000 deployment needs ~20 GB just for the
+   dense gain matrix, far beyond a typical memory budget, while the lazy
+   backend runs the same schedule within an O(n) resident footprint (its
+   LRU row cache is the only term that is not a few position arrays).
+
+Run as a script (this is deliberately not a pytest-benchmark module: the
+memory half must be free to *refuse* to allocate the dense matrix)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py --large-n 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+import tracemalloc
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sinr.backends import BACKENDS, LazyBlockBackend, make_backend
+from repro.sinr.model import SINRParameters
+
+
+def make_schedule(n: int, rounds: int, per_round: int, seed: int) -> List[List[int]]:
+    """A fixed schedule: ``rounds`` transmitter sets of ``per_round`` indices."""
+    rng = np.random.default_rng(seed)
+    return [list(rng.choice(n, size=per_round, replace=False)) for _ in range(rounds)]
+
+
+def positions_for(n: int, seed: int = 0) -> np.ndarray:
+    # Constant-density area: side grows with sqrt(n) so the physics stays in
+    # the multi-hop regime the paper's schedules target.
+    rng = np.random.default_rng(seed)
+    side = max(4.0, float(np.sqrt(n) / 8.0))
+    return rng.uniform(0.0, side, size=(n, 2))
+
+
+def dense_matrix_bytes(n: int) -> int:
+    """Resident bytes the dense backend needs (gain + distance matrix)."""
+    return 2 * n * n * 8
+
+
+def bench_batch_vs_rounds(n: int, rounds: int, per_round: int) -> Dict[str, float]:
+    """Time receptions_batch against the round-by-round loop, per backend."""
+    positions = positions_for(n)
+    schedule = make_schedule(n, rounds, per_round, seed=1)
+    params = SINRParameters.default()
+    report: Dict[str, float] = {}
+    for name in sorted(BACKENDS):
+        backend = make_backend(name, positions, params)
+        # Warm up (JIT-free, but touches caches and page-faults the arrays).
+        backend.receptions(schedule[0])
+
+        start = time.perf_counter()
+        loop_result = [backend.receptions(tx) for tx in schedule]
+        loop_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch_result = backend.receptions_batch(schedule)
+        batch_seconds = time.perf_counter() - start
+
+        # Sanity: both paths must deliver to the same receivers.
+        for per_round_map, outcome in zip(loop_result, batch_result):
+            assert set(per_round_map) == set(int(r) for r in outcome.receivers)
+
+        report[f"{name}_loop_s"] = loop_seconds
+        report[f"{name}_batch_s"] = batch_seconds
+        report[f"{name}_speedup"] = loop_seconds / batch_seconds if batch_seconds else float("inf")
+    return report
+
+
+def bench_memory_scaling(n: int, rounds: int, per_round: int, budget_gb: float) -> Dict[str, float]:
+    """Show the n=50k regime: dense exceeds the budget, lazy runs within it."""
+    report: Dict[str, float] = {}
+    dense_gb = dense_matrix_bytes(n) / 1e9
+    report["dense_matrix_gb"] = dense_gb
+    report["dense_fits_budget"] = float(dense_gb <= budget_gb)
+
+    positions = positions_for(n)
+    schedule = make_schedule(n, rounds, per_round, seed=2)
+    params = SINRParameters.default()
+
+    tracemalloc.start()
+    backend = LazyBlockBackend(positions, params)
+    deliveries = backend.receptions_batch(schedule)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    report["lazy_peak_gb"] = peak / 1e9
+    report["lazy_deliveries"] = float(sum(len(outcome) for outcome in deliveries))
+    info = backend.cache_info()
+    report["lazy_cached_rows"] = float(info["resident_rows"])
+    report["lazy_cache_hits"] = float(info["hits"])
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--small-n", type=int, default=5_000, help="deployment size for the batch-speed comparison")
+    parser.add_argument("--large-n", type=int, default=50_000, help="deployment size for the memory comparison")
+    parser.add_argument("--rounds", type=int, default=64, help="schedule length")
+    parser.add_argument("--per-round", type=int, default=32, help="transmitters per round")
+    parser.add_argument("--budget-gb", type=float, default=4.0, help="memory budget the backends are judged against")
+    parser.add_argument(
+        "--force-dense-large", action="store_true",
+        help="actually build the dense backend at --large-n (needs the memory!)",
+    )
+    args = parser.parse_args()
+
+    print(f"== batched vs round-by-round execution (n={args.small_n}, "
+          f"{args.rounds} rounds x {args.per_round} transmitters) ==")
+    timing = bench_batch_vs_rounds(args.small_n, args.rounds, args.per_round)
+    for name in sorted(BACKENDS):
+        print(
+            f"  {name:>6}: round-by-round {timing[f'{name}_loop_s']*1e3:8.1f} ms | "
+            f"batched {timing[f'{name}_batch_s']*1e3:8.1f} ms | "
+            f"speedup {timing[f'{name}_speedup']:5.1f}x"
+        )
+
+    print(f"\n== memory scaling (n={args.large_n}, budget {args.budget_gb:.1f} GB) ==")
+    if args.force_dense_large:
+        positions = positions_for(args.large_n)
+        make_backend("dense", positions, SINRParameters.default())
+        print("  dense: built (explicitly forced)")
+    memory = bench_memory_scaling(args.large_n, args.rounds, args.per_round, args.budget_gb)
+    verdict = "fits" if memory["dense_fits_budget"] else "DOES NOT FIT"
+    print(f"  dense: needs {memory['dense_matrix_gb']:.1f} GB for its matrices -> {verdict} "
+          f"(not built; pass --force-dense-large to try)")
+    print(f"  lazy:  ran the full schedule at peak {memory['lazy_peak_gb']:.2f} GB "
+          f"({int(memory['lazy_deliveries'])} deliveries, "
+          f"{int(memory['lazy_cached_rows'])} cached rows, "
+          f"{int(memory['lazy_cache_hits'])} cache hits)")
+
+    ok = (
+        timing["dense_speedup"] >= 2.0
+        and not memory["dense_fits_budget"]
+        and memory["lazy_peak_gb"] <= args.budget_gb
+    )
+    print(f"\nacceptance: batched >= 2x on dense at n={args.small_n}: "
+          f"{timing['dense_speedup']:.1f}x; lazy within budget at n={args.large_n}: "
+          f"{memory['lazy_peak_gb']:.2f} GB <= {args.budget_gb:.1f} GB -> {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

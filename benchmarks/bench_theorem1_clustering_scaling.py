@@ -25,7 +25,7 @@ from repro.core import build_clustering
 from repro.simulation import SINRSimulator
 from repro.sinr import deployment
 
-from _harness import bench_config, run_once
+from _harness import bench_backend, bench_config, run_once
 
 DENSITY_SWEEP = [5, 8, 12]
 
@@ -42,7 +42,7 @@ def _experiment():
     shapes = []
     for density in DENSITY_SWEEP:
         network = deployment.gaussian_hotspots(
-            3, density, spread=0.18, separation=1.5, seed=500 + density
+            3, density, spread=0.18, separation=1.5, seed=500 + density, backend=bench_backend()
         )
         sim = SINRSimulator(network)
         gamma = network.delta_bound

@@ -23,12 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
 from ..simulation.engine import SINRSimulator
-from ..simulation.messages import Message
 
 
 @dataclass
@@ -67,29 +66,50 @@ def _run_probabilistic_rounds(
     max_rounds: int,
     rng: np.random.Generator,
     stop_when_complete: bool,
+    chunk_rounds: int = 32,
 ) -> RandomizedLocalBroadcastResult:
+    """Drive the probabilistic rounds through the batched schedule API.
+
+    The per-round coin flips do not depend on reception outcomes, so the
+    whole transmission schedule is precomputed (with the exact RNG stream a
+    round-by-round execution would draw) and evaluated in blocks of
+    ``chunk_rounds`` via :meth:`SINRSimulator.run_schedule`.  The completion
+    check runs between blocks; deliveries after the completion round are
+    discarded and ``completed_round`` / ``rounds_used`` keep the exact
+    round-by-round semantics (the simulator's global counter may run up to
+    ``chunk_rounds - 1`` rounds past completion, the price of batching).
+    """
     network = sim.network
     uids = list(network.uids)
     required = {uid: set(network.neighbors(uid)) for uid in uids}
     result = RandomizedLocalBroadcastResult(delivered={uid: set() for uid in uids})
     start_round = sim.current_round
 
+    rounds: List[List[int]] = []
     for local_round in range(1, max_rounds + 1):
-        transmissions = {}
-        for uid in uids:
-            p = probability_for_round(uid, local_round)
-            if rng.random() < p:
-                transmissions[uid] = Message(sender=uid, tag="rand-local")
-        delivered = sim.run_round(transmissions, phase="rand-local")
-        for listener, message in delivered.items():
-            result.delivered[message.sender].add(listener)
-        if stop_when_complete and all(
-            required[uid] <= result.delivered[uid] for uid in uids
-        ):
-            result.completed_round = local_round
+        selected = [
+            uid for uid in uids if rng.random() < probability_for_round(uid, local_round)
+        ]
+        rounds.append(selected)
+
+    for chunk_start in range(0, max_rounds, chunk_rounds):
+        chunk = rounds[chunk_start : chunk_start + chunk_rounds]
+        deliveries = sim.run_schedule(chunk, phase="rand-local")
+        for offset, round_deliveries in enumerate(deliveries):
+            for listener, sender in round_deliveries:
+                result.delivered[sender].add(listener)
+            if stop_when_complete and all(
+                required[uid] <= result.delivered[uid] for uid in uids
+            ):
+                result.completed_round = chunk_start + offset + 1
+                break
+        if result.completed_round is not None:
             break
 
-    result.rounds_used = sim.current_round - start_round
+    if result.completed_round is not None:
+        result.rounds_used = result.completed_round
+    else:
+        result.rounds_used = sim.current_round - start_round
     return result
 
 

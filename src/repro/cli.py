@@ -8,6 +8,7 @@ be exercised without writing Python, e.g.::
     repro-sim local-broadcast --deployment uniform --nodes 40
     repro-sim global-broadcast --deployment strip --hops 6
     repro-sim leader-election --deployment ring --nodes 30
+    repro-sim cluster --deployment uniform --nodes 2000 --area 12 --backend lazy
     repro-sim gadget --delta 12
 
 (or ``python -m repro.cli ...``).  Every command accepts ``--seed`` and the
@@ -39,6 +40,7 @@ from .lowerbound import (
 )
 from .simulation import SINRSimulator
 from .sinr import deployment
+from .sinr.backends import BACKENDS
 
 
 def _config_for(preset: str) -> AlgorithmConfig:
@@ -51,22 +53,27 @@ def _config_for(preset: str) -> AlgorithmConfig:
 
 def _build_network(args: argparse.Namespace):
     kind = args.deployment
+    backend = getattr(args, "backend", "dense")
     if kind == "uniform":
-        return deployment.uniform_random(args.nodes, area_side=args.area, seed=args.seed)
+        return deployment.uniform_random(
+            args.nodes, area_side=args.area, seed=args.seed, backend=backend
+        )
     if kind == "hotspots":
         per_spot = max(1, args.nodes // max(1, args.hotspots))
         return deployment.gaussian_hotspots(
-            args.hotspots, per_spot, spread=0.18, separation=1.6, seed=args.seed
+            args.hotspots, per_spot, spread=0.18, separation=1.6, seed=args.seed, backend=backend
         )
     if kind == "strip":
         return deployment.connected_strip(
-            hops=args.hops, nodes_per_hop=args.nodes_per_hop, seed=args.seed
+            hops=args.hops, nodes_per_hop=args.nodes_per_hop, seed=args.seed, backend=backend
         )
     if kind == "line":
-        return deployment.line(args.nodes, seed=args.seed)
+        return deployment.line(args.nodes, seed=args.seed, backend=backend)
     if kind == "ring":
         per_cluster = max(1, args.nodes // max(1, args.clusters))
-        return deployment.two_hop_clusters(args.clusters, per_cluster, seed=args.seed)
+        return deployment.two_hop_clusters(
+            args.clusters, per_cluster, seed=args.seed, backend=backend
+        )
     raise ValueError(f"unknown deployment {kind!r}")
 
 
@@ -86,6 +93,12 @@ def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="deployment seed")
     parser.add_argument(
         "--preset", choices=["fast", "default"], default="fast", help="algorithm constants preset"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="dense",
+        help="physics backend: dense (O(n^2) gain matrix) or lazy (O(n) memory)",
     )
 
 

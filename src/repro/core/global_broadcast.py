@@ -125,6 +125,7 @@ def sms_broadcast(
         message_factory=broadcast_message(result.cluster_of),
         listeners=all_uids,
         phase=f"{phase}:seed",
+        wake_on_reception=True,
     )
     current_wave: Set[int] = set()
     for listener, events in outcome.result.receptions.items():
@@ -178,6 +179,7 @@ def sms_broadcast(
                 message_factory=broadcast_message(result.cluster_of),
                 listeners=all_uids,
                 phase=f"{phase}:p{phase_index}:label-{label}",
+                wake_on_reception=True,
             )
             for listener, events in outcome.result.receptions.items():
                 for event in events:

@@ -126,13 +126,17 @@ def run_sns(
     message_factory: Optional[MessageFactory] = None,
     listeners: Optional[Iterable[int]] = None,
     phase: str = "sns",
+    wake_on_reception: bool = False,
 ) -> SNSOutcome:
     """Execute the Sparse Network Schedule for the given participants.
 
     The participants are assumed to have constant density (that is what the
     callers -- local broadcast per label, radius reduction on a fully
     sparsified set -- guarantee); under that assumption Lemma 4 states every
-    participant is heard within distance ``1 - eps``.
+    participant is heard within distance ``1 - eps``.  ``wake_on_reception``
+    is forwarded to the schedule runner: global broadcast uses it so sleeping
+    listeners are woken by (not merely informed through) their first decoded
+    message.
     """
     schedule = sns_for(sim.network.id_space, config)
     before = sim.current_round
@@ -143,6 +147,7 @@ def run_sns(
         message_factory=message_factory,
         listeners=listeners,
         phase=phase,
+        wake_on_reception=wake_on_reception,
     )
     return SNSOutcome(result=result, rounds=sim.current_round - before)
 

@@ -7,6 +7,23 @@ and the SINR inequality (Equation 1) decides who decodes what.  Because the
 threshold ``beta`` exceeds one, a listener decodes at most one transmitter
 per round, so the result of a round is a partial map ``listener -> message``.
 
+The simulator is *index-native*: wakefulness is a NumPy boolean mask over
+dense node indices, transmitter/listener sets are converted to index arrays
+once per round, and uid translation of the results is a single fancy-indexing
+pass over the network's uid array -- there is no per-``Node`` attribute churn
+on the hot path.  On top of the per-round :meth:`SINRSimulator.run_round` it
+offers the batched :meth:`SINRSimulator.run_schedule`, which evaluates a
+whole precomputed sequence of transmitter sets through the physics backend's
+``receptions_batch`` in vectorized NumPy calls; all schedule-driven
+executions (:mod:`repro.simulation.schedule`, and through it every
+deterministic algorithm in :mod:`repro.core`) go through that path.
+
+Wake-up semantics (non-spontaneous wake-up model): sleeping nodes never
+listen -- they are dropped even from an explicitly passed ``listeners``
+iterable -- unless ``wake_on_reception`` is set, in which case a sleeping
+listener may decode and is *woken by* that first reception in the same round
+(a node can never decode while staying asleep).
+
 The engine also keeps the global round counter (protocol complexity is
 measured in rounds), a message counter and, optionally, a full
 :class:`~repro.simulation.trace.ExecutionTrace` for the figure-style
@@ -15,7 +32,9 @@ experiments.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..sinr.network import WirelessNetwork
 from .messages import Message
@@ -36,6 +55,11 @@ class SINRSimulator:
 
     def __init__(self, network: WirelessNetwork, record_trace: bool = False) -> None:
         self._network = network
+        self._uids = network.uid_array
+        # The mask is the authoritative wake state; it is seeded from (and
+        # mirrored back to) the Node objects so bookkeeping code that reads
+        # ``node.awake`` stays consistent.
+        self._awake = np.array([node.awake for node in network.nodes], dtype=bool)
         self._round = 0
         self._messages_sent = 0
         self._messages_delivered = 0
@@ -80,11 +104,34 @@ class SINRSimulator:
     # Round execution.
     # ------------------------------------------------------------------ #
 
+    def _listener_indices(
+        self,
+        listeners: Optional[Iterable[int]],
+        transmissions: Mapping[int, Message],
+        tx_indices: np.ndarray,
+        wake_on_reception: bool,
+    ) -> np.ndarray:
+        """Eligible listener indices for one round (half-duplex, wake model)."""
+        if listeners is None:
+            mask = self._awake.copy()
+            mask[tx_indices] = False
+            return np.flatnonzero(mask)
+        indices = self._network.indices_of(
+            uid for uid in listeners if uid not in transmissions
+        )
+        if not wake_on_reception:
+            # Sleeping nodes never listen (non-spontaneous wake-up model):
+            # without wake_on_reception they are dropped even when named
+            # explicitly, so a message can never be decoded in secret.
+            indices = indices[self._awake[indices]]
+        return indices
+
     def run_round(
         self,
         transmissions: Mapping[int, Message],
         listeners: Optional[Iterable[int]] = None,
         phase: str = "",
+        wake_on_reception: bool = False,
     ) -> Dict[int, Message]:
         """Execute one synchronous round.
 
@@ -95,9 +142,15 @@ class SINRSimulator:
         listeners:
             IDs of the nodes that listen this round; defaults to every node
             that is awake and not transmitting.  Transmitting nodes never
-            receive (half-duplex).
+            receive (half-duplex), and sleeping nodes are dropped unless
+            ``wake_on_reception`` is set.
         phase:
             Free-form label stored in the trace.
+        wake_on_reception:
+            Allow sleeping nodes named in ``listeners`` to decode; a sleeping
+            node that decodes is woken in the same round.  This models radios
+            that are powered but dormant (the wake-up channel of global
+            broadcast); a node can never decode a message and stay asleep.
 
         Returns
         -------
@@ -105,7 +158,6 @@ class SINRSimulator:
             ``listener ID -> decoded message`` for every listener whose SINR
             constraint was met by some transmitter.
         """
-        network = self._network
         self._round += 1
         self._messages_sent += len(transmissions)
 
@@ -114,24 +166,22 @@ class SINRSimulator:
                 self._trace.append(RoundRecord(index=self._round, phase=phase, transmitters=(), deliveries={}))
             return {}
 
-        sender_indices = [network.index_of(uid) for uid in transmissions]
-        if listeners is None:
-            listener_ids = [
-                node.uid
-                for node in network.nodes
-                if node.awake and node.uid not in transmissions
-            ]
-        else:
-            listener_ids = [uid for uid in listeners if uid not in transmissions]
-        listener_indices = [network.index_of(uid) for uid in listener_ids]
-
-        receptions = network.physics.receptions(sender_indices, listener_indices)
+        tx_indices = self._network.indices_of(transmissions)
+        rx_indices = self._listener_indices(listeners, transmissions, tx_indices, wake_on_reception)
 
         delivered: Dict[int, Message] = {}
-        for listener_index, reception in receptions.items():
-            listener_uid = network.uid_of(listener_index)
-            sender_uid = network.uid_of(reception.sender)
-            delivered[listener_uid] = transmissions[sender_uid]
+        if rx_indices.size:
+            receptions = self._network.physics.receptions(tx_indices, rx_indices)
+            uids = self._uids
+            woken: List[int] = []
+            for listener_index, reception in receptions.items():
+                listener_uid = int(uids[listener_index])
+                sender_uid = int(uids[reception.sender])
+                delivered[listener_uid] = transmissions[sender_uid]
+                if wake_on_reception and not self._awake[listener_index]:
+                    woken.append(listener_index)
+            if woken:
+                self._set_awake(woken, True)
         self._messages_delivered += len(delivered)
 
         if self._trace is not None:
@@ -144,6 +194,92 @@ class SINRSimulator:
                 )
             )
         return delivered
+
+    def run_schedule(
+        self,
+        rounds: Sequence[Iterable[int]],
+        listeners: Optional[Iterable[int]] = None,
+        phase: str = "",
+        wake_on_reception: bool = False,
+    ) -> List[List[Tuple[int, int]]]:
+        """Execute a precomputed sequence of transmitter sets as one batch.
+
+        ``rounds[t]`` holds the IDs transmitting in relative round ``t`` (an
+        empty set yields a charged-but-silent round, as in a faithful
+        execution).  The listener semantics per round are exactly those of
+        :meth:`run_round` -- same defaults, same half-duplex exclusion, same
+        sleeping/wake rules -- but the physics of all rounds is evaluated in
+        one call to the backend's ``receptions_batch``, which is what makes
+        long schedule executions fast.  Batching is exact (not an
+        approximation): transmitter sets are fixed in advance and a round's
+        outcome never depends on earlier listeners' outcomes, so the batch
+        and the round-by-round loop produce identical results.
+
+        Returns, per round, the list of ``(receiver ID, sender ID)``
+        deliveries.  Messages are not threaded through this API; callers
+        attach them per sender (see :mod:`repro.simulation.schedule`).
+        """
+        rounds = [list(r) for r in rounds]
+        network = self._network
+        tx_index_rounds = [network.indices_of(r) for r in rounds]
+
+        # The eligible listener pool is round-independent: waking (the only
+        # mid-schedule state change) can only happen under wake_on_reception,
+        # in which case sleeping listeners are eligible anyway; per-round
+        # transmitters are excluded inside the batch.
+        if listeners is None:
+            rx_candidates = np.flatnonzero(self._awake)
+        else:
+            rx_candidates = network.indices_of(listeners)
+            if not wake_on_reception:
+                rx_candidates = rx_candidates[self._awake[rx_candidates]]
+
+        batch = self._network.physics.receptions_batch(tx_index_rounds, listeners=rx_candidates)
+
+        uids = self._uids
+        deliveries_per_round: List[List[Tuple[int, int]]] = []
+        pending_silent = 0
+        for tx_uids, outcome in zip(rounds, batch):
+            if not tx_uids:
+                self._round += 1
+                pending_silent += 1
+                deliveries_per_round.append([])
+                continue
+            if pending_silent:
+                if self._trace is not None:
+                    self._trace.append(
+                        RoundRecord(
+                            index=self._round, phase=phase, transmitters=(), deliveries={}, skipped=pending_silent
+                        )
+                    )
+                pending_silent = 0
+            self._round += 1
+            self._messages_sent += len(tx_uids)
+
+            if wake_on_reception and len(outcome):
+                asleep = outcome.receivers[~self._awake[outcome.receivers]]
+                if asleep.size:
+                    self._set_awake(asleep.tolist(), True)
+            receiver_uids = uids[outcome.receivers]
+            sender_uids = uids[outcome.senders]
+            pairs = list(zip(receiver_uids.tolist(), sender_uids.tolist()))
+            self._messages_delivered += len(pairs)
+            deliveries_per_round.append(pairs)
+
+            if self._trace is not None:
+                self._trace.append(
+                    RoundRecord(
+                        index=self._round,
+                        phase=phase,
+                        transmitters=tuple(sorted(tx_uids)),
+                        deliveries={receiver: sender for receiver, sender in pairs},
+                    )
+                )
+        if pending_silent and self._trace is not None:
+            self._trace.append(
+                RoundRecord(index=self._round, phase=phase, transmitters=(), deliveries={}, skipped=pending_silent)
+            )
+        return deliveries_per_round
 
     def run_silent_rounds(self, count: int, phase: str = "idle") -> None:
         """Advance the round counter by ``count`` rounds with no transmissions.
@@ -164,25 +300,34 @@ class SINRSimulator:
     # Wakefulness helpers (non-spontaneous wake-up model).
     # ------------------------------------------------------------------ #
 
+    def _set_awake(self, indices: Sequence[int], value: bool) -> None:
+        """Flip wake state on the mask and mirror it onto the Node objects."""
+        self._awake[indices] = value
+        nodes = self._network.nodes
+        for index in indices:
+            nodes[index].awake = value
+
     def sleeping_nodes(self) -> List[int]:
         """IDs of nodes that are currently asleep."""
-        return [node.uid for node in self._network.nodes if not node.awake]
+        return [int(uid) for uid in self._uids[~self._awake]]
 
     def awake_nodes(self) -> List[int]:
         """IDs of nodes that are currently awake."""
-        return [node.uid for node in self._network.nodes if node.awake]
+        return [int(uid) for uid in self._uids[self._awake]]
 
     def put_all_to_sleep(self, except_for: Iterable[int] = ()) -> None:
         """Mark every node asleep except the given ones (global broadcast setup)."""
-        keep = set(except_for)
-        for node in self._network.nodes:
-            node.awake = node.uid in keep
+        keep = self._network.indices_of(except_for)
+        mask = np.zeros(len(self._awake), dtype=bool)
+        mask[keep] = True
+        self._awake = mask
+        for node, awake in zip(self._network.nodes, mask):
+            node.awake = bool(awake)
 
     def wake(self, uids: Iterable[int]) -> None:
         """Mark the given nodes awake."""
-        for uid in uids:
-            self._network.node(uid).awake = True
+        self._set_awake(self._network.indices_of(uids), True)
 
     def is_awake(self, uid: int) -> bool:
         """Whether node ``uid`` is awake."""
-        return self._network.node(uid).awake
+        return bool(self._awake[self._network.index_of(uid)])

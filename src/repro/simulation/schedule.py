@@ -8,15 +8,24 @@ current cluster).  This module turns a schedule plus a participant set into
 actual rounds on the :class:`~repro.simulation.engine.SINRSimulator` and
 returns the per-listener reception history that the algorithms consume.
 
+Because the transmitter set of every round is fully determined up front
+(participants and the schedule are both fixed before execution starts), the
+runners materialize the whole sequence of transmitter sets and hand it to the
+simulator's batched :meth:`~repro.simulation.engine.SINRSimulator.
+run_schedule`, which evaluates all rounds through the physics backend's
+``receptions_batch`` in vectorized NumPy calls.  The results are identical to
+a round-by-round execution -- the property tests assert as much -- it is just
+much faster.
+
 Rounds in which no participant is scheduled are not evaluated by the physics
-engine -- nobody transmits, so nobody can receive -- but they still advance
+backend -- nobody transmits, so nobody can receive -- but they still advance
 the round counter, so reported round complexities match a faithful execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..selectors.ssf import TransmissionSchedule
 from ..selectors.wcss import ClusterAwareSchedule
@@ -74,6 +83,40 @@ def _default_message(tag: str) -> MessageFactory:
     return factory
 
 
+def _execute_rounds(
+    sim: SINRSimulator,
+    round_transmitters: Sequence[Set[int]],
+    schedule_length: int,
+    factory: MessageFactory,
+    listeners: Optional[Iterable[int]],
+    phase: str,
+    wake_on_reception: bool,
+) -> ScheduleResult:
+    """Run precomputed per-round transmitter sets batched; collect the result."""
+    listener_list = list(listeners) if listeners is not None else None
+    deliveries = sim.run_schedule(
+        round_transmitters,
+        listeners=listener_list,
+        phase=phase,
+        wake_on_reception=wake_on_reception,
+    )
+    result = ScheduleResult(length=schedule_length)
+    message_of: Dict[int, Message] = {}
+    for t, transmitters in enumerate(round_transmitters):
+        if not transmitters:
+            continue
+        for uid in transmitters:
+            result.transmitted_rounds.setdefault(uid, []).append(t)
+        for receiver, sender in deliveries[t]:
+            message = message_of.get(sender)
+            if message is None:
+                message = message_of[sender] = factory(sender)
+            result.receptions.setdefault(receiver, []).append(
+                ReceptionEvent(round_index=t, sender=message.sender, message=message)
+            )
+    return result
+
+
 def run_schedule(
     sim: SINRSimulator,
     schedule: TransmissionSchedule,
@@ -81,6 +124,7 @@ def run_schedule(
     message_factory: Optional[MessageFactory] = None,
     listeners: Optional[Iterable[int]] = None,
     phase: str = "schedule",
+    wake_on_reception: bool = False,
 ) -> ScheduleResult:
     """Execute an (unclustered) schedule restricted to ``participants``.
 
@@ -98,32 +142,22 @@ def run_schedule(
         bare ``Message`` tagged with ``phase``).
     listeners:
         Restrict who listens (default: every awake node).
+    wake_on_reception:
+        Let sleeping listeners decode and be woken by their first reception
+        (see :meth:`~repro.simulation.engine.SINRSimulator.run_round`).
     """
     participant_set = set(participants)
     factory = message_factory or _default_message(phase)
-    listener_list = list(listeners) if listeners is not None else None
-    result = ScheduleResult(length=len(schedule))
-
-    pending_silent = 0
-    for t, allowed in enumerate(schedule.rounds):
-        transmitters = participant_set & allowed
-        if not transmitters:
-            pending_silent += 1
-            continue
-        if pending_silent:
-            sim.run_silent_rounds(pending_silent, phase=phase)
-            pending_silent = 0
-        transmissions = {uid: factory(uid) for uid in transmitters}
-        delivered = sim.run_round(transmissions, listeners=listener_list, phase=phase)
-        for uid in transmitters:
-            result.transmitted_rounds.setdefault(uid, []).append(t)
-        for listener, message in delivered.items():
-            result.receptions.setdefault(listener, []).append(
-                ReceptionEvent(round_index=t, sender=message.sender, message=message)
-            )
-    if pending_silent:
-        sim.run_silent_rounds(pending_silent, phase=phase)
-    return result
+    round_transmitters = [participant_set & allowed for allowed in schedule.rounds]
+    return _execute_rounds(
+        sim,
+        round_transmitters,
+        len(schedule),
+        factory,
+        listeners,
+        phase,
+        wake_on_reception,
+    )
 
 
 def run_cluster_schedule(
@@ -134,6 +168,7 @@ def run_cluster_schedule(
     message_factory: Optional[MessageFactory] = None,
     listeners: Optional[Iterable[int]] = None,
     phase: str = "wcss",
+    wake_on_reception: bool = False,
 ) -> ScheduleResult:
     """Execute a cluster-aware schedule restricted to ``participants``.
 
@@ -142,35 +177,23 @@ def run_cluster_schedule(
     """
     participant_set = set(participants)
     factory = message_factory or _default_message(phase)
-    listener_list = list(listeners) if listeners is not None else None
-    result = ScheduleResult(length=len(schedule))
-
-    pending_silent = 0
-    for t in range(len(schedule)):
-        nodes_allowed = schedule.node_rounds[t]
-        clusters_allowed = schedule.cluster_rounds[t]
-        transmitters = {
+    round_transmitters = [
+        {
             uid
             for uid in participant_set
-            if uid in nodes_allowed and cluster_of.get(uid) in clusters_allowed
+            if uid in schedule.node_rounds[t] and cluster_of.get(uid) in schedule.cluster_rounds[t]
         }
-        if not transmitters:
-            pending_silent += 1
-            continue
-        if pending_silent:
-            sim.run_silent_rounds(pending_silent, phase=phase)
-            pending_silent = 0
-        transmissions = {uid: factory(uid) for uid in transmitters}
-        delivered = sim.run_round(transmissions, listeners=listener_list, phase=phase)
-        for uid in transmitters:
-            result.transmitted_rounds.setdefault(uid, []).append(t)
-        for listener, message in delivered.items():
-            result.receptions.setdefault(listener, []).append(
-                ReceptionEvent(round_index=t, sender=message.sender, message=message)
-            )
-    if pending_silent:
-        sim.run_silent_rounds(pending_silent, phase=phase)
-    return result
+        for t in range(len(schedule))
+    ]
+    return _execute_rounds(
+        sim,
+        round_transmitters,
+        len(schedule),
+        factory,
+        listeners,
+        phase,
+        wake_on_reception,
+    )
 
 
 def run_round_robin(
@@ -179,6 +202,7 @@ def run_round_robin(
     message_factory: Optional[MessageFactory] = None,
     listeners: Optional[Iterable[int]] = None,
     phase: str = "round-robin",
+    wake_on_reception: bool = False,
 ) -> ScheduleResult:
     """Execute one round per participant, in increasing ID order.
 
@@ -188,13 +212,13 @@ def run_round_robin(
     """
     ordered = sorted(set(participants))
     factory = message_factory or _default_message(phase)
-    listener_list = list(listeners) if listeners is not None else None
-    result = ScheduleResult(length=len(ordered))
-    for t, uid in enumerate(ordered):
-        delivered = sim.run_round({uid: factory(uid)}, listeners=listener_list, phase=phase)
-        result.transmitted_rounds.setdefault(uid, []).append(t)
-        for listener, message in delivered.items():
-            result.receptions.setdefault(listener, []).append(
-                ReceptionEvent(round_index=t, sender=message.sender, message=message)
-            )
-    return result
+    round_transmitters: List[Set[int]] = [{uid} for uid in ordered]
+    return _execute_rounds(
+        sim,
+        round_transmitters,
+        len(ordered),
+        factory,
+        listeners,
+        phase,
+        wake_on_reception,
+    )

@@ -12,18 +12,33 @@ from .geometry import (
     pairwise_distances,
     unit_ball_density,
 )
+from .backends import (
+    BACKENDS,
+    DenseMatrixBackend,
+    LazyBlockBackend,
+    PhysicsBackend,
+    RoundReceptions,
+    make_backend,
+)
 from .metric import MetricNetwork, doubling_dimension_estimate
-from .model import SINRParameters, log_star
+from .model import NUMERIC_TOLERANCE, SINRParameters, log_star
 from .network import WirelessNetwork
 from .node import Node
 from .physics import PhysicsEngine, Reception, successful_links
 
 __all__ = [
+    "BACKENDS",
     "Ball",
     "ClosePair",
+    "DenseMatrixBackend",
+    "LazyBlockBackend",
     "MetricNetwork",
+    "NUMERIC_TOLERANCE",
     "Node",
+    "PhysicsBackend",
     "PhysicsEngine",
+    "RoundReceptions",
+    "make_backend",
     "Reception",
     "SINRParameters",
     "WirelessNetwork",

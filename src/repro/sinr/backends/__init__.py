@@ -1,0 +1,62 @@
+"""Pluggable SINR physics backends.
+
+Every backend implements the :class:`~repro.sinr.backends.base.PhysicsBackend`
+protocol -- one round via ``receptions()``, a whole schedule via
+``receptions_batch()`` -- and they are interchangeable everywhere a network or
+simulator needs physics.  Selection is by name (``"dense"`` or ``"lazy"``)
+through :func:`make_backend`, threaded from ``WirelessNetwork(backend=...)``,
+the deployment generators, and the CLI's ``--backend`` option.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..model import SINRParameters
+from .base import PhysicsBackend, Reception, RoundReceptions
+from .dense import DenseMatrixBackend
+from .lazy import LazyBlockBackend
+
+#: Name -> backend class registry used by :func:`make_backend` and the CLI.
+BACKENDS = {
+    "dense": DenseMatrixBackend,
+    "lazy": LazyBlockBackend,
+}
+
+
+def make_backend(
+    backend: Union[str, PhysicsBackend],
+    positions: np.ndarray,
+    params: SINRParameters,
+) -> PhysicsBackend:
+    """Build (or pass through) a physics backend for a placement.
+
+    ``backend`` is a registry name (``"dense"``, ``"lazy"``) or an already
+    constructed :class:`PhysicsBackend`, whose size must match ``positions``.
+    """
+    if isinstance(backend, PhysicsBackend):
+        if backend.size != len(positions):
+            raise ValueError(
+                f"backend holds {backend.size} nodes but the placement has {len(positions)}"
+            )
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown physics backend {backend!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return cls(np.asarray(positions, dtype=float), params)
+
+
+__all__ = [
+    "BACKENDS",
+    "DenseMatrixBackend",
+    "LazyBlockBackend",
+    "PhysicsBackend",
+    "Reception",
+    "RoundReceptions",
+    "make_backend",
+]

@@ -1,0 +1,301 @@
+"""The physics-backend protocol: SINR reception evaluation (Equation 1).
+
+A *backend* answers one question -- given a placement, the model parameters
+and a set of concurrent transmitters, which listeners decode which message --
+while being free to choose its own storage/compute trade-off.  Two backends
+ship with the reproduction:
+
+* :class:`~repro.sinr.backends.dense.DenseMatrixBackend` precomputes the full
+  ``(n, n)`` received-power (gain) matrix; fastest per round, O(n^2) memory.
+* :class:`~repro.sinr.backends.lazy.LazyBlockBackend` computes gain blocks on
+  demand from positions with an LRU block cache; O(n) resident memory, which
+  unlocks deployments of 100k+ nodes.
+
+The contract is a single primitive, :meth:`PhysicsBackend.gain_block`: the
+received-power sub-matrix for arbitrary sender/receiver index arrays.  All
+reception logic (:meth:`~PhysicsBackend.receptions` for one round,
+:meth:`~PhysicsBackend.receptions_batch` for a whole schedule) is implemented
+once in this base class on top of it, so every backend is guaranteed to
+realize the *same* physics; the property tests in ``tests/test_backends.py``
+additionally pin down their numerical equivalence.
+
+Because the SINR threshold ``beta`` exceeds 1, at most one transmitter can be
+decoded by any listener per round, and -- since the SINR of a candidate is
+monotone increasing in its own gain for a fixed round -- the decoded sender
+is always the one with maximal received power.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..model import NUMERIC_TOLERANCE, SINRParameters
+
+
+@dataclass(frozen=True)
+class Reception:
+    """Outcome of one listener in one round."""
+
+    receiver: int
+    sender: int
+    sinr: float
+
+
+@dataclass(frozen=True)
+class RoundReceptions:
+    """Vector-form outcome of one round inside a batched evaluation.
+
+    ``receivers[k]`` decoded ``senders[k]`` with SINR ``sinr[k]``; the arrays
+    are index-aligned and sorted by receiver index.  :meth:`as_dict` converts
+    to the per-listener :class:`Reception` mapping of the round-by-round API.
+    """
+
+    receivers: np.ndarray
+    senders: np.ndarray
+    sinr: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.receivers)
+
+    def as_dict(self) -> Dict[int, Reception]:
+        """The round-by-round ``receptions()`` representation of this round."""
+        return {
+            int(r): Reception(receiver=int(r), sender=int(s), sinr=float(q))
+            for r, s, q in zip(self.receivers, self.senders, self.sinr)
+        }
+
+
+def _empty_round() -> RoundReceptions:
+    return RoundReceptions(
+        receivers=np.empty(0, dtype=int),
+        senders=np.empty(0, dtype=int),
+        sinr=np.empty(0, dtype=float),
+    )
+
+
+class PhysicsBackend(ABC):
+    """Abstract SINR physics backend over a fixed ``n``-node placement.
+
+    Subclasses implement :meth:`gain_block` (and the shape accessors); the
+    reception semantics live here so all backends agree exactly.
+    """
+
+    #: Soft cap on the number of gain-matrix elements materialized at once by
+    #: :meth:`receptions_batch` (rows x listeners per chunk); keeps peak
+    #: memory bounded even for long schedules over large deployments.
+    _BATCH_BLOCK_ELEMENTS = 4_000_000
+
+    def __init__(self, params: SINRParameters) -> None:
+        self._params = params
+
+    # ------------------------------------------------------------------ #
+    # Backend primitive and shape accessors.
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of nodes in the placement."""
+
+    @abstractmethod
+    def gain_block(self, senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
+        """Received-power sub-matrix ``G[i, j] = gain(senders[i], receivers[j])``.
+
+        Self-pairs (``senders[i] == receivers[j]``) have gain 0; co-located
+        distinct pairs are clamped to a huge finite value (reception from a
+        co-located node trivially succeeds when it transmits alone).
+        """
+
+    @abstractmethod
+    def distance(self, a: int, b: int) -> float:
+        """Distance between nodes ``a`` and ``b``."""
+
+    @property
+    def params(self) -> SINRParameters:
+        """The SINR parameters in force."""
+        return self._params
+
+    # ------------------------------------------------------------------ #
+    # Scalar helpers (generic; backends may override with faster paths).
+    # ------------------------------------------------------------------ #
+
+    def gain(self, sender: int, receiver: int) -> float:
+        """Received power ``P / d(sender, receiver)^alpha``."""
+        block = self.gain_block(np.array([sender], dtype=int), np.array([receiver], dtype=int))
+        return float(block[0, 0])
+
+    def sinr(self, sender: int, receiver: int, transmitters: Iterable[int]) -> float:
+        """SINR of ``sender`` at ``receiver`` for a given transmitter set."""
+        transmitters = set(transmitters)
+        if sender not in transmitters:
+            raise ValueError("sender must be among the transmitters")
+        if receiver == sender:
+            return 0.0
+        signal = self.gain(sender, receiver)
+        others = [w for w in transmitters if w not in (sender, receiver)]
+        interference = 0.0
+        if others:
+            block = self.gain_block(np.array(others, dtype=int), np.array([receiver], dtype=int))
+            interference = float(block.sum())
+        return float(signal / (self._params.noise + interference))
+
+    def interference_at(self, receiver: int, transmitters: Iterable[int]) -> float:
+        """Total interference power at ``receiver`` from ``transmitters``."""
+        others = [w for w in transmitters if w != receiver]
+        if not others:
+            return 0.0
+        block = self.gain_block(np.array(others, dtype=int), np.array([receiver], dtype=int))
+        return float(block.sum())
+
+    def hears_alone(self, sender: int, receiver: int) -> bool:
+        """Whether ``receiver`` hears ``sender`` when nobody else transmits."""
+        if sender == receiver:
+            return False
+        return self.gain(sender, receiver) / self._params.noise >= self._params.beta - NUMERIC_TOLERANCE
+
+    # ------------------------------------------------------------------ #
+    # Round evaluation (shared by all backends).
+    # ------------------------------------------------------------------ #
+
+    def receptions(
+        self,
+        transmitters: Sequence[int],
+        listeners: Optional[Sequence[int]] = None,
+    ) -> Dict[int, Reception]:
+        """Compute, per listener, the (unique) successfully decoded sender.
+
+        A node that transmits in a round cannot receive in the same round
+        (half-duplex radios, as in the paper).  Listeners default to all
+        non-transmitting nodes.
+        """
+        transmitters = list(dict.fromkeys(int(t) for t in transmitters))
+        if not transmitters:
+            return {}
+        tx = np.array(transmitters, dtype=int)
+        tx_set = set(transmitters)
+        if listeners is None:
+            mask = np.ones(self.size, dtype=bool)
+            mask[tx] = False
+            rx = np.flatnonzero(mask)
+        else:
+            listener_ids = [int(v) for v in listeners if int(v) not in tx_set]
+            if not listener_ids:
+                return {}
+            rx = np.array(listener_ids, dtype=int)
+        if rx.size == 0:
+            return {}
+
+        # gains_sub[i, j] = received power at listener rx[j] from transmitter tx[i]
+        gains_sub = self.gain_block(tx, rx)
+        total_power = gains_sub.sum(axis=0)
+        # A candidate's interference is the total received power minus its own
+        # contribution, so its SINR is monotone increasing in its own gain:
+        # the (unique, since beta > 1) decodable sender is the strongest one.
+        best_idx = np.argmax(gains_sub, axis=0)
+        best_gain = gains_sub[best_idx, np.arange(len(rx))]
+        best_sinr = best_gain / (self._params.noise + (total_power - best_gain))
+
+        result: Dict[int, Reception] = {}
+        threshold = self._params.beta
+        for j in np.flatnonzero(best_sinr >= threshold - NUMERIC_TOLERANCE):
+            receiver = int(rx[j])
+            result[receiver] = Reception(
+                receiver=receiver, sender=int(tx[best_idx[j]]), sinr=float(best_sinr[j])
+            )
+        return result
+
+    def receptions_batch(
+        self,
+        schedule: Sequence[Sequence[int]],
+        listeners: Optional[Sequence[int]] = None,
+    ) -> List[RoundReceptions]:
+        """Evaluate a whole sequence of transmitter sets in vectorized calls.
+
+        ``schedule[t]`` is the transmitter index set of round ``t``; the same
+        ``listeners`` apply to every round (default: all nodes), except that a
+        round's own transmitters never receive (half-duplex).  Equivalent to
+        calling :meth:`receptions` once per round -- the property tests assert
+        exactly that -- but materializes the gain rows of many rounds in one
+        :meth:`gain_block` call and skips all per-listener Python objects,
+        which is what makes schedule-driven executions fast.
+
+        Returns one :class:`RoundReceptions` per round, in order.
+        """
+        norm_rounds = [list(dict.fromkeys(int(t) for t in r)) for r in schedule]
+        if listeners is None:
+            rx = np.arange(self.size)
+        else:
+            rx = np.array(list(dict.fromkeys(int(v) for v in listeners)), dtype=int)
+
+        results: List[RoundReceptions] = [_empty_round()] * len(norm_rounds)
+        if rx.size == 0:
+            return results
+
+        noise = self._params.noise
+        threshold = self._params.beta - NUMERIC_TOLERANCE
+        cols = np.arange(rx.size)
+        rx_pos = {int(v): j for j, v in enumerate(rx)}
+
+        # Chunk rounds so that (distinct transmitters per chunk) x (listeners)
+        # stays within the block budget; one gain_block call per chunk.
+        max_rows = max(1, self._BATCH_BLOCK_ELEMENTS // rx.size)
+        start = 0
+        while start < len(norm_rounds):
+            union: Dict[int, int] = {}
+            end = start
+            while end < len(norm_rounds):
+                new = [t for t in norm_rounds[end] if t not in union]
+                if union and len(union) + len(new) > max_rows:
+                    break
+                for t in new:
+                    union[t] = len(union)
+                end += 1
+            if not union:
+                start = end
+                continue
+
+            block = self.gain_block(np.fromiter(union, dtype=int, count=len(union)), rx)
+            for t in range(start, end):
+                tx_list = norm_rounds[t]
+                if not tx_list:
+                    continue
+                tx_arr = np.fromiter(tx_list, dtype=int, count=len(tx_list))
+                rows = np.fromiter((union[v] for v in tx_list), dtype=int, count=len(tx_list))
+                gains_sub = block[rows]
+                total_power = gains_sub.sum(axis=0)
+                # Strongest transmitter == best SINR (see receptions()).
+                best_idx = np.argmax(gains_sub, axis=0)
+                best_gain = gains_sub[best_idx, cols]
+                best_sinr = best_gain / (noise + (total_power - best_gain))
+                ok = best_sinr >= threshold
+                # Half-duplex: a round's transmitters never receive in it.
+                for v in tx_list:
+                    j = rx_pos.get(v)
+                    if j is not None:
+                        ok[j] = False
+                picked = np.flatnonzero(ok)
+                results[t] = RoundReceptions(
+                    receivers=rx[picked],
+                    senders=tx_arr[best_idx[picked]],
+                    sinr=best_sinr[picked],
+                )
+            start = end
+        return results
+
+    def reception_matrix(self, transmitters: Sequence[int]) -> np.ndarray:
+        """Boolean matrix ``M[i, j]``: listener ``j`` decodes ``transmitters[i]``.
+
+        Mostly useful for analysis and tests; the simulator itself uses
+        :meth:`receptions`.
+        """
+        transmitters = list(dict.fromkeys(int(t) for t in transmitters))
+        matrix = np.zeros((len(transmitters), self.size), dtype=bool)
+        outcome = self.receptions(transmitters)
+        index_of = {t: i for i, t in enumerate(transmitters)}
+        for receiver, reception in outcome.items():
+            matrix[index_of[reception.sender], receiver] = True
+        return matrix

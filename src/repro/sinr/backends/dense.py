@@ -1,0 +1,119 @@
+"""Dense-matrix physics backend: precomputed O(n^2) gain matrix.
+
+The historical (and default) backend of the reproduction: at construction it
+materializes the full pairwise received-power matrix, after which every round
+is a handful of numpy reductions over sub-matrices.  Fastest per round for
+deployments that fit in memory (~tens of thousands of nodes); switch to
+:class:`~repro.sinr.backends.lazy.LazyBlockBackend` beyond that.
+
+This is also the only backend that supports *metric-only* construction from
+a pairwise-distance matrix (the paper's footnote-1 generalization to
+bounded-growth metric spaces), since an abstract metric has no positions to
+recompute distances from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import pairwise_distances
+from ..model import NUMERIC_TOLERANCE, SINRParameters
+from .base import PhysicsBackend
+
+
+class DenseMatrixBackend(PhysicsBackend):
+    """Evaluates SINR receptions from a precomputed dense gain matrix.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array of node coordinates.
+    params:
+        The :class:`~repro.sinr.model.SINRParameters` of the environment.
+    distances:
+        Alternatively, a symmetric pairwise-distance matrix (abstract metric).
+    """
+
+    def __init__(
+        self,
+        positions: Optional[np.ndarray],
+        params: SINRParameters,
+        distances: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(params)
+        if distances is None:
+            if positions is None:
+                raise ValueError("either positions or distances must be given")
+            positions = np.asarray(positions, dtype=float)
+            if positions.ndim != 2 or positions.shape[1] != 2:
+                raise ValueError("positions must be an (n, 2) array")
+            self._positions: Optional[np.ndarray] = positions
+            distances = pairwise_distances(positions)
+        else:
+            distances = np.asarray(distances, dtype=float)
+            if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+                raise ValueError("distances must be a square matrix")
+            if not np.allclose(distances, distances.T, atol=1e-9):
+                raise ValueError("distances must be symmetric")
+            if np.any(distances < -NUMERIC_TOLERANCE):
+                raise ValueError("distances must be non-negative")
+            self._positions = (
+                np.asarray(positions, dtype=float) if positions is not None else None
+            )
+        self._n = len(distances)
+        with np.errstate(divide="ignore"):
+            gains = params.power / np.power(distances, params.alpha)
+        np.fill_diagonal(gains, 0.0)
+        # Co-located distinct nodes would have infinite gain; clamp to a huge
+        # finite value so that arithmetic stays well defined (reception from a
+        # co-located node trivially succeeds when it is the only transmitter).
+        gains[np.isinf(gains)] = np.finfo(float).max / (self._n + 1)
+        self._gains = gains
+        self._distances = distances
+
+    @classmethod
+    def from_distance_matrix(
+        cls, distances: np.ndarray, params: SINRParameters
+    ) -> "DenseMatrixBackend":
+        """Backend over an abstract metric given by a pairwise-distance matrix.
+
+        Supports the paper's footnote-1 generalization to bounded-growth
+        metric spaces: the SINR rule (Equation 1) only needs distances, not
+        coordinates.
+        """
+        return cls(None, params, distances=distances)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the placement."""
+        return self._n
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Node coordinates (read-only view); unavailable for metric-only backends."""
+        if self._positions is None:
+            raise ValueError("this engine was built from a distance matrix; no coordinates exist")
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Pairwise node distances (read-only view)."""
+        view = self._distances.view()
+        view.flags.writeable = False
+        return view
+
+    def distance(self, a: int, b: int) -> float:
+        """Distance between nodes ``a`` and ``b``."""
+        return float(self._distances[a, b])
+
+    def gain(self, sender: int, receiver: int) -> float:
+        """Received power ``P / d(sender, receiver)^alpha`` (direct lookup)."""
+        return float(self._gains[sender, receiver])
+
+    def gain_block(self, senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
+        """Gather the requested sub-matrix of the precomputed gain matrix."""
+        return self._gains[np.ix_(senders, receivers)]

@@ -20,10 +20,11 @@ Every generator takes an explicit ``seed`` and returns a fully constructed
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .backends import PhysicsBackend
 from .model import SINRParameters
 from .network import WirelessNetwork
 
@@ -34,13 +35,16 @@ def _finalize(
     rng: np.random.Generator,
     shuffle_ids: bool,
     id_space: Optional[int],
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """Build a network, optionally permuting which ID lands on which position."""
     n = len(positions)
     uids: Optional[List[int]] = None
     if shuffle_ids:
         uids = list(rng.permutation(np.arange(1, n + 1)).astype(int))
-    return WirelessNetwork(positions, params=params, uids=uids, id_space=id_space)
+    return WirelessNetwork(
+        positions, params=params, uids=uids, id_space=id_space, backend=backend
+    )
 
 
 def uniform_random(
@@ -50,13 +54,14 @@ def uniform_random(
     seed: int = 0,
     shuffle_ids: bool = True,
     id_space: Optional[int] = None,
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """``n`` nodes placed uniformly at random in an ``area_side`` x ``area_side`` square."""
     if n <= 0:
         raise ValueError("n must be positive")
     rng = np.random.default_rng(seed)
     positions = rng.uniform(0.0, area_side, size=(n, 2))
-    return _finalize(positions, params, rng, shuffle_ids, id_space)
+    return _finalize(positions, params, rng, shuffle_ids, id_space, backend)
 
 
 def grid(
@@ -68,6 +73,7 @@ def grid(
     jitter: float = 0.0,
     shuffle_ids: bool = True,
     id_space: Optional[int] = None,
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """A ``rows x cols`` grid with the given spacing and optional positional jitter."""
     if rows <= 0 or cols <= 0:
@@ -77,7 +83,7 @@ def grid(
     positions = np.column_stack([xs.ravel(), ys.ravel()]).astype(float)
     if jitter > 0:
         positions = positions + rng.uniform(-jitter, jitter, size=positions.shape)
-    return _finalize(positions, params, rng, shuffle_ids, id_space)
+    return _finalize(positions, params, rng, shuffle_ids, id_space, backend)
 
 
 def gaussian_hotspots(
@@ -89,6 +95,7 @@ def gaussian_hotspots(
     seed: int = 0,
     shuffle_ids: bool = True,
     id_space: Optional[int] = None,
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """Dense Gaussian clusters ("hotspots") arranged on a coarse grid.
 
@@ -107,7 +114,7 @@ def gaussian_hotspots(
         chunk = rng.normal(loc=(cx, cy), scale=spread, size=(nodes_per_hotspot, 2))
         chunks.append(chunk)
     positions = np.vstack(chunks)
-    return _finalize(positions, params, rng, shuffle_ids, id_space)
+    return _finalize(positions, params, rng, shuffle_ids, id_space, backend)
 
 
 def dense_ball(
@@ -118,6 +125,7 @@ def dense_ball(
     seed: int = 0,
     shuffle_ids: bool = True,
     id_space: Optional[int] = None,
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """``n`` nodes uniform in a disc -- a single-hop, maximally dense network."""
     if n <= 0:
@@ -128,7 +136,7 @@ def dense_ball(
     positions = np.column_stack(
         [center[0] + radii * np.cos(angles), center[1] + radii * np.sin(angles)]
     )
-    return _finalize(positions, params, rng, shuffle_ids, id_space)
+    return _finalize(positions, params, rng, shuffle_ids, id_space, backend)
 
 
 def connected_strip(
@@ -139,6 +147,7 @@ def connected_strip(
     spread: float = 0.2,
     shuffle_ids: bool = True,
     id_space: Optional[int] = None,
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """A multi-hop strip: ``hops`` anchor points on a line, a small cloud at each.
 
@@ -162,7 +171,7 @@ def connected_strip(
             cloud[0] = anchor  # keep an anchor exactly on the line so the strip stays connected
         chunks.append(cloud)
     positions = np.vstack(chunks)
-    return _finalize(positions, parameters, rng, shuffle_ids, id_space)
+    return _finalize(positions, parameters, rng, shuffle_ids, id_space, backend)
 
 
 def line(
@@ -172,6 +181,7 @@ def line(
     seed: int = 0,
     shuffle_ids: bool = False,
     id_space: Optional[int] = None,
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """``n`` nodes on a line, consecutive nodes at distance ``spacing``.
 
@@ -185,7 +195,7 @@ def line(
         spacing = 0.9 * parameters.communication_radius
     rng = np.random.default_rng(seed)
     positions = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
-    return _finalize(positions, parameters, rng, shuffle_ids, id_space)
+    return _finalize(positions, parameters, rng, shuffle_ids, id_space, backend)
 
 
 def two_hop_clusters(
@@ -195,6 +205,7 @@ def two_hop_clusters(
     seed: int = 0,
     shuffle_ids: bool = True,
     id_space: Optional[int] = None,
+    backend: Union[str, PhysicsBackend] = "dense",
 ) -> WirelessNetwork:
     """Clusters arranged on a ring so that neighbouring clusters are one hop apart.
 
@@ -222,4 +233,4 @@ def two_hop_clusters(
         cloud[0] = center
         chunks.append(cloud)
     positions = np.vstack(chunks)
-    return _finalize(positions, parameters, rng, shuffle_ids, id_space)
+    return _finalize(positions, parameters, rng, shuffle_ids, id_space, backend)

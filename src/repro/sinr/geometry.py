@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 from scipy.spatial import cKDTree
 
+from .model import NUMERIC_TOLERANCE
 
 Point = Tuple[float, float]
 
@@ -52,7 +53,7 @@ class Ball:
 
     def contains(self, point: Sequence[float]) -> bool:
         """Whether ``point`` lies inside the ball (boundary included)."""
-        return distance(self.center, point) <= self.radius + 1e-12
+        return distance(self.center, point) <= self.radius + NUMERIC_TOLERANCE
 
     def contains_all(self, points: Iterable[Sequence[float]]) -> bool:
         """Whether every point of ``points`` lies inside the ball."""
@@ -63,7 +64,7 @@ class Ball:
         positions = np.asarray(positions, dtype=float)
         center = np.asarray(self.center, dtype=float)
         dist = np.linalg.norm(positions - center, axis=1)
-        return np.nonzero(dist <= self.radius + 1e-12)[0]
+        return np.nonzero(dist <= self.radius + NUMERIC_TOLERANCE)[0]
 
 
 def chi(r1: float, r2: float) -> int:
@@ -116,13 +117,13 @@ def unit_ball_density(positions: np.ndarray, radius: float = 1.0) -> int:
     if len(positions) == 0:
         return 0
     tree = cKDTree(positions)
-    counts = tree.query_ball_point(positions, r=radius + 1e-12, return_length=True)
+    counts = tree.query_ball_point(positions, r=radius + NUMERIC_TOLERANCE, return_length=True)
     best = int(np.max(counts))
     # Also probe midpoints of nearby pairs to catch densities not centred on a node.
     pairs = tree.query_pairs(r=radius, output_type="ndarray")
     if len(pairs):
         midpoints = (positions[pairs[:, 0]] + positions[pairs[:, 1]]) / 2.0
-        mid_counts = tree.query_ball_point(midpoints, r=radius + 1e-12, return_length=True)
+        mid_counts = tree.query_ball_point(midpoints, r=radius + NUMERIC_TOLERANCE, return_length=True)
         best = max(best, int(np.max(mid_counts)))
     return best
 
@@ -141,7 +142,7 @@ def neighbors_within(positions: np.ndarray, radius: float) -> List[List[int]]:
     """Adjacency lists of the geometric graph with edge threshold ``radius``."""
     positions = np.asarray(positions, dtype=float)
     tree = cKDTree(positions)
-    pairs = tree.query_pairs(r=radius + 1e-12, output_type="ndarray")
+    pairs = tree.query_pairs(r=radius + NUMERIC_TOLERANCE, output_type="ndarray")
     adjacency: List[List[int]] = [[] for _ in range(len(positions))]
     for u, v in pairs:
         adjacency[int(u)].append(int(v))
@@ -180,13 +181,13 @@ def _candidate_scale(
         m
         for m in members
         if (
-            np.linalg.norm(positions[m] - pu) <= d_uw + 1e-12
-            or np.linalg.norm(positions[m] - pw) <= d_uw + 1e-12
+            np.linalg.norm(positions[m] - pu) <= d_uw + NUMERIC_TOLERANCE
+            or np.linalg.norm(positions[m] - pw) <= d_uw + NUMERIC_TOLERANCE
         )
     ]
     for i, a in enumerate(nearby):
         for b in nearby[i + 1 :]:
-            if np.linalg.norm(positions[a] - positions[b]) < d_uw / 2.0 - 1e-12:
+            if np.linalg.norm(positions[a] - positions[b]) < d_uw / 2.0 - NUMERIC_TOLERANCE:
                 return False
     return True
 
@@ -243,7 +244,7 @@ def find_close_pairs(
             if nearest[int(local_w)] != local_u:
                 continue
             d_uw = float(dist[local_u, int(local_w)])
-            if d_uw > threshold + 1e-12:
+            if d_uw > threshold + NUMERIC_TOLERANCE:
                 continue
             u = members[local_u]
             w = members[int(local_w)]

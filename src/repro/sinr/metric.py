@@ -22,9 +22,9 @@ from typing import Dict, List, Optional, Sequence
 import networkx as nx
 import numpy as np
 
-from .model import SINRParameters
+from .backends.dense import DenseMatrixBackend
+from .model import NUMERIC_TOLERANCE, SINRParameters
 from .node import Node
-from .physics import PhysicsEngine
 
 
 class MetricNetwork:
@@ -68,12 +68,13 @@ class MetricNetwork:
         if id_space < max(uids):
             raise ValueError("id_space must be at least the largest node ID")
 
-        self._physics = PhysicsEngine.from_distance_matrix(matrix, self._params)
+        self._physics = DenseMatrixBackend.from_distance_matrix(matrix, self._params)
         self._distances = matrix
         self._nodes: List[Node] = [
             Node(uid=uid, index=i, position=(float("nan"), float("nan"))) for i, uid in enumerate(uids)
         ]
         self._uid_to_index: Dict[int, int] = {node.uid: node.index for node in self._nodes}
+        self._uid_array = np.array(uids, dtype=int)
         self._id_space = int(id_space)
         self._graph = self._build_communication_graph()
         if delta_bound is None:
@@ -113,8 +114,9 @@ class MetricNetwork:
         return [node.uid for node in self._nodes]
 
     @property
-    def physics(self) -> PhysicsEngine:
-        """The SINR physics engine over the abstract metric."""
+    def physics(self) -> DenseMatrixBackend:
+        """The SINR physics backend over the abstract metric (dense only:
+        a metric-only placement has no positions to recompute blocks from)."""
         return self._physics
 
     @property
@@ -133,6 +135,18 @@ class MetricNetwork:
     def uid_of(self, index: int) -> int:
         """Identifier of the node at dense index ``index``."""
         return self._nodes[index].uid
+
+    @property
+    def uid_array(self) -> np.ndarray:
+        """Node identifiers as an index-aligned array (read-only view)."""
+        view = self._uid_array.view()
+        view.flags.writeable = False
+        return view
+
+    def indices_of(self, uids) -> np.ndarray:
+        """Dense indices of the given identifiers, as an index array."""
+        table = self._uid_to_index
+        return np.fromiter((table[uid] for uid in uids), dtype=int)
 
     # ------------------------------------------------------------------ #
     # Metric / graph accessors.
@@ -162,7 +176,7 @@ class MetricNetwork:
     def density(self) -> int:
         """Largest number of nodes within transmission range of any node."""
         radius = self._params.transmission_range
-        counts = (self._distances <= radius + 1e-12).sum(axis=1)
+        counts = (self._distances <= radius + NUMERIC_TOLERANCE).sum(axis=1)
         return int(counts.max())
 
     def is_connected(self) -> bool:
@@ -209,7 +223,7 @@ class MetricNetwork:
         n = self.size
         for i in range(n):
             for j in range(i + 1, n):
-                if self._distances[i, j] <= radius + 1e-12:
+                if self._distances[i, j] <= radius + NUMERIC_TOLERANCE:
                     graph.add_edge(self._nodes[i].uid, self._nodes[j].uid)
         return graph
 
@@ -238,8 +252,8 @@ def doubling_dimension_estimate(distances: np.ndarray, radii: Optional[Sequence[
         radii = [base / 2.0, base, 2.0 * base]
     worst = 1.0
     for r in radii:
-        inner = (distances <= r + 1e-12).sum(axis=1).astype(float)
-        outer = (distances <= 2.0 * r + 1e-12).sum(axis=1).astype(float)
+        inner = (distances <= r + NUMERIC_TOLERANCE).sum(axis=1).astype(float)
+        outer = (distances <= 2.0 * r + NUMERIC_TOLERANCE).sum(axis=1).astype(float)
         ratios = outer / np.maximum(inner, 1.0)
         worst = max(worst, float(ratios.max()))
     return float(np.log2(worst))

@@ -21,6 +21,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+#: Absolute tolerance used for every SINR-threshold and geometric comparison
+#: in the reproduction (reception tests, ball membership, communication-graph
+#: edges, distance-matrix validation).  Centralized here so that the physics
+#: backends, the geometry helpers and the network builders all agree on what
+#: "equal up to floating-point noise" means.
+NUMERIC_TOLERANCE: float = 1e-12
+
 
 @dataclass(frozen=True)
 class SINRParameters:

@@ -3,7 +3,8 @@
 :class:`WirelessNetwork` is the central substrate object.  It owns
 
 * the node placement (positions, unique IDs),
-* the :class:`~repro.sinr.physics.PhysicsEngine` evaluating SINR receptions,
+* the :class:`~repro.sinr.backends.PhysicsBackend` evaluating SINR receptions
+  (selected by the ``backend`` argument: dense matrix or lazy blocks),
 * the *communication graph* (edges between nodes at distance <= 1 - eps,
   Section 1.1),
 * the global knowledge every node shares: the ID space bound ``N``, the
@@ -18,16 +19,16 @@ accessors are reserved for deployment code, tests and analysis.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
 from scipy.spatial import cKDTree
 
+from .backends import PhysicsBackend, make_backend
 from .geometry import graph_diameter_hops, unit_ball_density
-from .model import SINRParameters
+from .model import NUMERIC_TOLERANCE, SINRParameters
 from .node import Node
-from .physics import PhysicsEngine
 
 
 class WirelessNetwork:
@@ -47,6 +48,11 @@ class WirelessNetwork:
     delta_bound:
         The bound ``Delta`` on density/degree known to every node.  Defaults
         to the measured unit-ball density.
+    backend:
+        Physics backend evaluating SINR receptions: ``"dense"`` (default,
+        precomputed O(n^2) gain matrix), ``"lazy"`` (O(n) memory, gain blocks
+        computed on demand -- use for n >> 10^4), or an already constructed
+        :class:`~repro.sinr.backends.PhysicsBackend`.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class WirelessNetwork:
         uids: Optional[Sequence[int]] = None,
         id_space: Optional[int] = None,
         delta_bound: Optional[int] = None,
+        backend: Union[str, PhysicsBackend] = "dense",
     ) -> None:
         self._params = params or SINRParameters.default()
         positions = np.asarray(positions, dtype=float)
@@ -86,8 +93,9 @@ class WirelessNetwork:
             for i, uid in enumerate(uids)
         ]
         self._uid_to_index: Dict[int, int] = {node.uid: node.index for node in self._nodes}
+        self._uid_array = np.array(uids, dtype=int)
         self._id_space = int(id_space)
-        self._physics = PhysicsEngine(positions, self._params)
+        self._physics = make_backend(backend, positions, self._params)
         self._graph = self._build_communication_graph()
         if delta_bound is None:
             delta_bound = max(1, unit_ball_density(positions, radius=self._params.transmission_range))
@@ -130,8 +138,8 @@ class WirelessNetwork:
     # ------------------------------------------------------------------ #
 
     @property
-    def physics(self) -> PhysicsEngine:
-        """The SINR physics engine for this placement."""
+    def physics(self) -> PhysicsBackend:
+        """The SINR physics backend for this placement."""
         return self._physics
 
     @property
@@ -150,6 +158,18 @@ class WirelessNetwork:
     def uid_of(self, index: int) -> int:
         """Identifier of the node at dense index ``index``."""
         return self._nodes[index].uid
+
+    @property
+    def uid_array(self) -> np.ndarray:
+        """Node identifiers as an index-aligned array (read-only view)."""
+        view = self._uid_array.view()
+        view.flags.writeable = False
+        return view
+
+    def indices_of(self, uids: Iterable[int]) -> np.ndarray:
+        """Dense indices of the given identifiers, as an index array."""
+        table = self._uid_to_index
+        return np.fromiter((table[uid] for uid in uids), dtype=int)
 
     # ------------------------------------------------------------------ #
     # Geometry / analysis accessors (not available to protocols).
@@ -239,7 +259,7 @@ class WirelessNetwork:
         graph.add_nodes_from(node.uid for node in self._nodes)
         radius = self._params.communication_radius
         tree = cKDTree(self._positions)
-        pairs = tree.query_pairs(r=radius + 1e-12, output_type="ndarray")
+        pairs = tree.query_pairs(r=radius + NUMERIC_TOLERANCE, output_type="ndarray")
         for i, j in pairs:
             graph.add_edge(self._nodes[int(i)].uid, self._nodes[int(j)].uid)
         return graph

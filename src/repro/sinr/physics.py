@@ -1,221 +1,44 @@
-"""SINR reception physics (Equation 1 of the paper).
+"""SINR reception physics (Equation 1) -- compatibility surface.
 
-Given node positions, a set of concurrent transmitters and the model
-parameters, this module decides which listeners successfully receive which
-message.  Because the SINR threshold ``beta`` exceeds 1, at most one
-transmitter can be decoded by any listener in any round; the engine exploits
-that to return a single sender per receiver.
+The reception logic lives in the pluggable backends of
+:mod:`repro.sinr.backends`: the shared semantics in
+:class:`~repro.sinr.backends.base.PhysicsBackend`, the dense O(n^2) gain
+matrix in :class:`~repro.sinr.backends.dense.DenseMatrixBackend`, and the
+O(n)-memory on-demand variant in
+:class:`~repro.sinr.backends.lazy.LazyBlockBackend`.
 
-The implementation is fully vectorized: a :class:`PhysicsEngine` precomputes
-the pairwise received-power (gain) matrix once per network and then evaluates
-each round with a handful of numpy reductions, which keeps multi-thousand
-round executions fast enough for the benchmark harness.
+This module keeps the historical names importable: :class:`PhysicsEngine`
+*is* the dense backend (same constructor, same methods, now with the batched
+``receptions_batch`` API inherited from the protocol), and :class:`Reception`
+and :func:`successful_links` are unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
-
-from .geometry import pairwise_distances
-from .model import SINRParameters
+from .backends.base import PhysicsBackend, Reception, RoundReceptions
+from .backends.dense import DenseMatrixBackend
 
 
-@dataclass(frozen=True)
-class Reception:
-    """Outcome of one listener in one round."""
-
-    receiver: int
-    sender: int
-    sinr: float
-
-
-class PhysicsEngine:
-    """Evaluates SINR receptions for a fixed node placement.
-
-    Parameters
-    ----------
-    positions:
-        ``(n, 2)`` array of node coordinates.
-    params:
-        The :class:`~repro.sinr.model.SINRParameters` of the environment.
-    """
-
-    def __init__(
-        self,
-        positions: Optional[np.ndarray],
-        params: SINRParameters,
-        distances: Optional[np.ndarray] = None,
-    ) -> None:
-        self._params = params
-        if distances is None:
-            if positions is None:
-                raise ValueError("either positions or distances must be given")
-            positions = np.asarray(positions, dtype=float)
-            if positions.ndim != 2 or positions.shape[1] != 2:
-                raise ValueError("positions must be an (n, 2) array")
-            self._positions: Optional[np.ndarray] = positions
-            distances = pairwise_distances(positions)
-        else:
-            distances = np.asarray(distances, dtype=float)
-            if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
-                raise ValueError("distances must be a square matrix")
-            if not np.allclose(distances, distances.T, atol=1e-9):
-                raise ValueError("distances must be symmetric")
-            if np.any(distances < -1e-12):
-                raise ValueError("distances must be non-negative")
-            self._positions = (
-                np.asarray(positions, dtype=float) if positions is not None else None
-            )
-        self._n = len(distances)
-        with np.errstate(divide="ignore"):
-            gains = params.power / np.power(distances, params.alpha)
-        np.fill_diagonal(gains, 0.0)
-        # Co-located distinct nodes would have infinite gain; clamp to a huge
-        # finite value so that arithmetic stays well defined (reception from a
-        # co-located node trivially succeeds when it is the only transmitter).
-        gains[np.isinf(gains)] = np.finfo(float).max / (self._n + 1)
-        self._gains = gains
-        self._distances = distances
-
-    @classmethod
-    def from_distance_matrix(
-        cls, distances: np.ndarray, params: SINRParameters
-    ) -> "PhysicsEngine":
-        """Engine over an abstract metric given by a pairwise-distance matrix.
-
-        Supports the paper's footnote-1 generalization to bounded-growth
-        metric spaces: the SINR rule (Equation 1) only needs distances, not
-        coordinates.
-        """
-        return cls(None, params, distances=distances)
-
-    @property
-    def size(self) -> int:
-        """Number of nodes in the placement."""
-        return self._n
-
-    @property
-    def params(self) -> SINRParameters:
-        """The SINR parameters in force."""
-        return self._params
-
-    @property
-    def positions(self) -> np.ndarray:
-        """Node coordinates (read-only view); unavailable for metric-only engines."""
-        if self._positions is None:
-            raise ValueError("this engine was built from a distance matrix; no coordinates exist")
-        view = self._positions.view()
-        view.flags.writeable = False
-        return view
-
-    @property
-    def distances(self) -> np.ndarray:
-        """Pairwise node distances (read-only view)."""
-        view = self._distances.view()
-        view.flags.writeable = False
-        return view
-
-    def distance(self, a: int, b: int) -> float:
-        """Distance between nodes ``a`` and ``b``."""
-        return float(self._distances[a, b])
-
-    def gain(self, sender: int, receiver: int) -> float:
-        """Received power ``P / d(sender, receiver)^alpha``."""
-        return float(self._gains[sender, receiver])
-
-    def sinr(self, sender: int, receiver: int, transmitters: Iterable[int]) -> float:
-        """SINR of ``sender`` at ``receiver`` for a given transmitter set."""
-        transmitters = set(transmitters)
-        if sender not in transmitters:
-            raise ValueError("sender must be among the transmitters")
-        if receiver == sender:
-            return 0.0
-        signal = self._gains[sender, receiver]
-        interference = sum(
-            self._gains[w, receiver] for w in transmitters if w not in (sender, receiver)
-        )
-        return float(signal / (self._params.noise + interference))
-
-    def interference_at(self, receiver: int, transmitters: Iterable[int]) -> float:
-        """Total interference power at ``receiver`` from ``transmitters``."""
-        total = 0.0
-        for w in transmitters:
-            if w != receiver:
-                total += self._gains[w, receiver]
-        return float(total)
-
-    def receptions(
-        self,
-        transmitters: Sequence[int],
-        listeners: Optional[Sequence[int]] = None,
-    ) -> Dict[int, Reception]:
-        """Compute, per listener, the (unique) successfully decoded sender.
-
-        A node that transmits in a round cannot receive in the same round
-        (half-duplex radios, as in the paper).  Listeners default to all
-        non-transmitting nodes.
-        """
-        transmitters = list(dict.fromkeys(int(t) for t in transmitters))
-        if not transmitters:
-            return {}
-        tx = np.array(transmitters, dtype=int)
-        tx_set = set(transmitters)
-        if listeners is None:
-            listener_ids = [i for i in range(self._n) if i not in tx_set]
-        else:
-            listener_ids = [int(v) for v in listeners if int(v) not in tx_set]
-        if not listener_ids:
-            return {}
-        rx = np.array(listener_ids, dtype=int)
-
-        # gains_sub[i, j] = received power at listener rx[j] from transmitter tx[i]
-        gains_sub = self._gains[np.ix_(tx, rx)]
-        total_power = gains_sub.sum(axis=0)
-        # For each (transmitter, listener) pair the interference is the total
-        # received power minus the candidate's own contribution.
-        interference = total_power[None, :] - gains_sub
-        sinr = gains_sub / (self._params.noise + interference)
-        best_idx = np.argmax(sinr, axis=0)
-        best_sinr = sinr[best_idx, np.arange(len(rx))]
-
-        result: Dict[int, Reception] = {}
-        threshold = self._params.beta
-        for j, receiver in enumerate(listener_ids):
-            value = float(best_sinr[j])
-            if value >= threshold - 1e-12:
-                sender = int(tx[best_idx[j]])
-                result[receiver] = Reception(receiver=receiver, sender=sender, sinr=value)
-        return result
-
-    def hears_alone(self, sender: int, receiver: int) -> bool:
-        """Whether ``receiver`` hears ``sender`` when nobody else transmits."""
-        if sender == receiver:
-            return False
-        return self._gains[sender, receiver] / self._params.noise >= self._params.beta - 1e-12
-
-    def reception_matrix(self, transmitters: Sequence[int]) -> np.ndarray:
-        """Boolean matrix ``M[i, j]``: listener ``j`` decodes transmitter ``transmitters[i]``.
-
-        Mostly useful for analysis and tests; the simulator itself uses
-        :meth:`receptions`.
-        """
-        transmitters = list(dict.fromkeys(int(t) for t in transmitters))
-        matrix = np.zeros((len(transmitters), self._n), dtype=bool)
-        outcome = self.receptions(transmitters)
-        index_of = {t: i for i, t in enumerate(transmitters)}
-        for receiver, reception in outcome.items():
-            matrix[index_of[reception.sender], receiver] = True
-        return matrix
+class PhysicsEngine(DenseMatrixBackend):
+    """Backwards-compatible name for the default (dense-matrix) backend."""
 
 
 def successful_links(
-    engine: PhysicsEngine, transmitters: Sequence[int]
+    engine: PhysicsBackend, transmitters: Sequence[int]
 ) -> List[Tuple[int, int]]:
     """Convenience wrapper returning ``(sender, receiver)`` pairs for one round."""
     return [
         (reception.sender, receiver)
         for receiver, reception in engine.receptions(transmitters).items()
     ]
+
+
+__all__ = [
+    "PhysicsBackend",
+    "PhysicsEngine",
+    "Reception",
+    "RoundReceptions",
+    "successful_links",
+]

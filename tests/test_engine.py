@@ -68,12 +68,27 @@ class TestRunRound:
         delivered = sim.run_round({1: Message(sender=1)})
         assert delivered == {}
 
-    def test_sleeping_nodes_listen_when_listed_explicitly(self):
+    def test_sleeping_nodes_dropped_from_explicit_listeners(self):
+        # Non-spontaneous wake-up model: a sleeping node cannot decode a
+        # message without waking, even when named as a listener explicitly.
         network = path_network()
         sim = SINRSimulator(network)
         sim.put_all_to_sleep(except_for=[1])
         delivered = sim.run_round({1: Message(sender=1)}, listeners=network.uids)
+        assert delivered == {}
+        assert not sim.is_awake(2)
+
+    def test_wake_on_reception_wakes_decoding_sleepers(self):
+        network = path_network()
+        sim = SINRSimulator(network)
+        sim.put_all_to_sleep(except_for=[1])
+        delivered = sim.run_round(
+            {1: Message(sender=1)}, listeners=network.uids, wake_on_reception=True
+        )
         assert 2 in delivered
+        assert sim.is_awake(2)
+        # Node 4 is out of range of node 1 and must stay asleep.
+        assert not sim.is_awake(4)
 
     def test_run_silent_rounds(self):
         sim = SINRSimulator(path_network())
