@@ -113,9 +113,9 @@ def location_aware_local_broadcast(
                 message_factory=lambda uid: Message(sender=uid, tag="grid-local"),
                 phase=f"grid:{color}",
             )
-            for listener, events in outcome.receptions.items():
-                for event in events:
-                    result.delivered[event.sender].add(listener)
+            senders, receivers = outcome.delivery_pairs()
+            for sender, listener in zip(senders.tolist(), receivers.tolist()):
+                result.delivered[sender].add(listener)
     result.colors_used = len(colors)
     result.rounds_used = sim.current_round - start_round
     return result

@@ -63,9 +63,9 @@ def tdma_local_broadcast(
     start_round = sim.current_round
     result = TDMALocalBroadcastResult(delivered={uid: set() for uid in network.uids})
     outcome = run_round_robin(sim, network.uids, phase="tdma-local")
-    for listener, events in outcome.receptions.items():
-        for event in events:
-            result.delivered[event.sender].add(listener)
+    senders, receivers = outcome.delivery_pairs()
+    for sender, listener in zip(senders.tolist(), receivers.tolist()):
+        result.delivered[sender].add(listener)
     if charge_full_id_space:
         sim.run_silent_rounds(max(0, network.id_space - network.size), phase="tdma-local:idle")
     result.rounds_used = sim.current_round - start_round
@@ -97,10 +97,8 @@ def tdma_global_broadcast(
         )
         if charge_full_id_space:
             sim.run_silent_rounds(max(0, network.id_space - len(informed)), phase="tdma-global:idle")
-        newly = set()
-        for listener, events in outcome.receptions.items():
-            if listener not in informed:
-                newly.add(listener)
+        _, receivers = outcome.delivery_pairs()
+        newly = set(receivers.tolist()) - informed
         for uid in newly:
             result.awakened_in_sweep[uid] = sweeps
         if not newly:

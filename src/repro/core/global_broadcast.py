@@ -106,11 +106,16 @@ def sms_broadcast(
     result.delivered = {uid: set() for uid in all_uids}
 
     def broadcast_message(cluster_lookup: Mapping[int, int]):
+        # Snapshot the lookup: ScheduleResult materializes messages lazily,
+        # so a factory must capture send-time state, not the live dict that
+        # the wave loop keeps mutating.
+        snapshot = dict(cluster_lookup)
+
         def factory(uid: int) -> Message:
             return Message(
                 sender=uid,
                 tag="broadcast",
-                cluster=cluster_lookup.get(uid, uid),
+                cluster=snapshot.get(uid, uid),
                 payload=payload,
             )
 
@@ -128,13 +133,15 @@ def sms_broadcast(
         wake_on_reception=True,
     )
     current_wave: Set[int] = set()
-    for listener, events in outcome.result.receptions.items():
-        for event in events:
-            result.delivered[event.sender].add(listener)
+    senders, receivers = outcome.result.delivery_pairs()
+    for sender, listener in zip(senders.tolist(), receivers.tolist()):
+        result.delivered[sender].add(listener)
+    first_receivers, first_senders, _ = outcome.result.first_receptions()
+    for listener, first_sender in zip(first_receivers.tolist(), first_senders.tolist()):
         if listener not in result.awakened_in_phase:
-            first = events[0]
             result.awakened_in_phase[listener] = 1
-            result.cluster_of[listener] = first.message.cluster or first.sender
+            # The seed messages carry cluster_lookup.get(sender, sender).
+            result.cluster_of[listener] = result.cluster_of.get(first_sender, first_sender) or first_sender
             current_wave.add(listener)
     sim.wake(current_wave)
     result.phases.append(
@@ -181,13 +188,17 @@ def sms_broadcast(
                 phase=f"{phase}:p{phase_index}:label-{label}",
                 wake_on_reception=True,
             )
-            for listener, events in outcome.result.receptions.items():
-                for event in events:
-                    result.delivered[event.sender].add(listener)
+            senders, receivers = outcome.result.delivery_pairs()
+            for sender, listener in zip(senders.tolist(), receivers.tolist()):
+                result.delivered[sender].add(listener)
+            first_receivers, first_senders, _ = outcome.result.first_receptions()
+            for listener, first_sender in zip(first_receivers.tolist(), first_senders.tolist()):
                 if listener not in result.awakened_in_phase:
-                    first = events[0]
                     result.awakened_in_phase[listener] = phase_index + 1
-                    result.cluster_of[listener] = first.message.cluster or first.sender
+                    # Wave messages carry cluster_lookup.get(sender, sender).
+                    result.cluster_of[listener] = (
+                        result.cluster_of.get(first_sender, first_sender) or first_sender
+                    )
                     newly_awakened.add(listener)
         sim.wake(newly_awakened)
         clusters_inherited = len({result.cluster_of[u] for u in newly_awakened}) if newly_awakened else 0

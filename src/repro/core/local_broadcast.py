@@ -132,9 +132,9 @@ def local_broadcast(
                 message_factory=message_for,
                 phase=f"{phase}:label-{label}",
             )
-            for listener, events in outcome.result.receptions.items():
-                for event in events:
-                    delivered[event.sender].add(listener)
+            senders, receivers = outcome.result.delivery_pairs()
+            for sender, listener in zip(senders.tolist(), receivers.tolist()):
+                delivered[sender].add(listener)
 
     rounds_transmission = sim.current_round - transmission_start
     return LocalBroadcastResult(

@@ -12,6 +12,14 @@ pair as an edge:
 3. **Confirmation phase** -- candidates are announced back; an edge is kept
    only if both endpoints keep each other.
 
+The filtering phase is columnar: the exchange's reception table (parallel
+``round / sender / receiver`` arrays) is joined against the selector
+schedule's cached inverse index (node -> scheduled rounds) with one sorted
+key binary search -- a sparse matrix intersection -- instead of the
+historical candidates x rounds Python loop (preserved in
+:func:`build_proximity_graph_reference` for equivalence tests and the
+before/after benchmark).
+
 Because the physics is deterministic and the confirmation phase re-executes
 the *same* schedule with the same transmitter sets, its receptions are
 identical to the exchange phase; we therefore charge its rounds without
@@ -26,9 +34,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+import numpy as np
+
+from ..selectors._csr import expand_slices, sorted_lookup
 from ..selectors.mis import iterated_local_minima_mis
 from ..simulation.engine import SINRSimulator
-from ..simulation.messages import Message
+from ..simulation.reference import (
+    ReferenceScheduleResult,
+    run_cluster_schedule_reference,
+    run_schedule_reference,
+)
 from ..simulation.schedule import ScheduleResult, run_cluster_schedule, run_schedule
 from .config import AlgorithmConfig
 from .primitives import clustered_message_factory, wcss_for, wss_for
@@ -79,6 +94,81 @@ class ProximityGraph:
         return v in self.adjacency.get(u, set())
 
 
+def _columnar_filtering(
+    exchange: ScheduleResult,
+    participants: Set[int],
+    cluster_arr: np.ndarray,
+    id_space: int,
+    schedule_length: int,
+    scheduled_rounds_of: "callable",
+) -> Tuple[Dict[int, List[int]], Dict[int, Set[int]]]:
+    """Vectorized heard lists + filtering verdicts for all participants.
+
+    ``scheduled_rounds_of(unique_senders)`` must return a CSR pair
+    ``(indptr, rounds)`` over the given unique sender array: the rounds in
+    which each sender was scheduled to transmit.
+
+    Returns ``(heard, surviving)``: first-heard sender lists and the
+    candidate sets that survive the disqualification rule (before the
+    candidate-cap purge).
+    """
+    ev_rounds, ev_senders, ev_receivers = exchange.event_table()
+
+    part_mask = np.zeros(id_space + 1, dtype=bool)
+    part_arr = np.fromiter((int(u) for u in participants), dtype=np.int64)
+    part_mask[part_arr] = True
+
+    # Only same-cluster receptions by participants are filtering evidence
+    # (Alg. 1 remark): a close pair's partner is the closest *same-cluster*
+    # node, so only a same-cluster reception in one of w's rounds
+    # disqualifies w.
+    relevant = part_mask[ev_receivers] & (
+        cluster_arr[ev_senders] == cluster_arr[ev_receivers]
+    )
+    rv = ev_receivers[relevant]
+    rs = ev_senders[relevant]
+    rt = ev_rounds[relevant]
+    order = np.argsort(rv, kind="stable")  # receiver-major, rounds ascending
+    rv, rs, rt = rv[order], rs[order], rt[order]
+
+    # First-heard dedup of (receiver, sender) pairs.
+    pair_keys = rv * np.int64(id_space + 1) + rs
+    _, first_positions = np.unique(pair_keys, return_index=True)
+    first_positions.sort()
+    hv = rv[first_positions]
+    hs = rs[first_positions]
+
+    heard: Dict[int, List[int]] = {int(u): [] for u in participants}
+    seg_receivers, seg_starts = np.unique(hv, return_index=True)
+    seg_bounds = np.append(seg_starts, len(hv))
+
+    # Disqualification: v drops w iff v decoded somebody else in a round in
+    # which w was scheduled.  Join the (receiver, round) -> sender reception
+    # table against the schedule's inverse index by sorted key search.
+    reception_keys = rv * np.int64(schedule_length) + rt
+    unique_ws = np.unique(hs) if len(hs) else np.empty(0, dtype=np.int64)
+    w_indptr, w_rounds = scheduled_rounds_of(unique_ws)
+    w_pos = np.searchsorted(unique_ws, hs)
+    lens = w_indptr[w_pos + 1] - w_indptr[w_pos] if len(hs) else np.empty(0, dtype=np.int64)
+    pair_of = np.repeat(np.arange(len(hs), dtype=np.int64), lens)
+    expanded_rounds = w_rounds[expand_slices(w_indptr[w_pos], lens)]
+    probe_keys = hv[pair_of] * np.int64(schedule_length) + expanded_rounds
+    hit, positions = sorted_lookup(reception_keys, probe_keys)
+    other_sender = hit & (rs[positions] != hs[pair_of])
+    disqualified = np.zeros(len(hs), dtype=bool)
+    disqualified[pair_of[other_sender]] = True
+
+    surviving: Dict[int, Set[int]] = {int(u): set() for u in participants}
+    hs_list = hs.tolist()
+    keep_list = (~disqualified).tolist()
+    for i, v in enumerate(seg_receivers.tolist()):
+        lo, hi = int(seg_bounds[i]), int(seg_bounds[i + 1])
+        segment = hs_list[lo:hi]
+        heard[v] = segment
+        surviving[v] = {w for w, keep in zip(segment, keep_list[lo:hi]) if keep}
+    return heard, surviving
+
+
 def build_proximity_graph(
     sim: SINRSimulator,
     participants: Iterable[int],
@@ -108,17 +198,30 @@ def build_proximity_graph(
     id_space = sim.network.id_space
     start_round = sim.current_round
 
+    cluster_arr = np.full(id_space + 1, -1, dtype=np.int64)
     if cluster_of is None:
+        cluster_lookup: Dict[int, int] = {uid: 1 for uid in participants}
+        for uid in participants:
+            cluster_arr[uid] = 1
         schedule = wss_for(id_space, config)
         schedule_length = len(schedule)
-        factory = clustered_message_factory("exchange", {uid: 1 for uid in participants})
+        factory = clustered_message_factory("exchange", cluster_lookup)
         exchange = run_schedule(
             sim, schedule, participants, message_factory=factory, phase=f"{phase}:exchange"
         )
-        scheduled_rounds = {uid: set(schedule.rounds_of(uid)) for uid in participants}
-        cluster_lookup: Dict[int, int] = {uid: 1 for uid in participants}
+        inv_indptr, inv_rounds = schedule.inverse_table()
+
+        def scheduled_rounds_of(ws: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            counts = inv_indptr[ws + 1] - inv_indptr[ws]
+            indptr = np.zeros(len(ws) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            return indptr, inv_rounds[expand_slices(inv_indptr[ws], counts)]
+
     else:
         cluster_lookup = {uid: int(cluster_of[uid]) for uid in participants}
+        for uid, cluster in cluster_lookup.items():
+            if 1 <= cluster <= id_space:
+                cluster_arr[uid] = cluster
         schedule = wcss_for(id_space, config)
         schedule_length = len(schedule)
         factory = clustered_message_factory("exchange", cluster_lookup)
@@ -130,45 +233,28 @@ def build_proximity_graph(
             message_factory=factory,
             phase=f"{phase}:exchange",
         )
-        scheduled_rounds = {
-            uid: {
-                t
-                for t in range(len(schedule))
-                if schedule.transmits_in(uid, cluster_lookup[uid], t)
-            }
-            for uid in participants
-        }
+
+        def scheduled_rounds_of(ws: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            parts = [
+                schedule.rounds_of_array(int(w), cluster_lookup[int(w)]) for w in ws
+            ]
+            counts = np.fromiter((len(p) for p in parts), dtype=np.int64, count=len(parts))
+            indptr = np.zeros(len(parts) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            rounds = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            return indptr, rounds
 
     graph.schedule_length = schedule_length
 
     # ----------------------------- Filtering ----------------------------- #
     candidate_cap = config.effective_candidate_cap
+    heard, surviving = _columnar_filtering(
+        exchange, participants, cluster_arr, id_space, schedule_length, scheduled_rounds_of
+    )
+    graph.heard = heard
     candidates: Dict[int, Set[int]] = {}
     for v in participants:
-        events = exchange.heard_by(v)
-        # Only same-cluster senders are candidates (ignored otherwise, Alg. 1 remark).
-        relevant = [
-            e
-            for e in events
-            if e.message.cluster is None or e.message.cluster == cluster_lookup.get(v)
-        ]
-        heard_senders = []
-        for e in relevant:
-            if e.sender not in heard_senders:
-                heard_senders.append(e.sender)
-        graph.heard[v] = heard_senders
-        candidate_set = set(heard_senders)
-        # Filtering evidence: same-cluster receptions only (Alg. 1 remark).  A
-        # close pair's partner is the closest *same-cluster* node, so only a
-        # same-cluster reception in one of w's rounds disqualifies w.
-        heard_rounds = {e.round_index: e.sender for e in relevant}
-        for w in heard_senders:
-            # Drop w if v heard somebody else in a round in which w was scheduled.
-            for t in scheduled_rounds.get(w, ()):  # w transmitted in these rounds
-                sender_heard = heard_rounds.get(t)
-                if sender_heard is not None and sender_heard != w:
-                    candidate_set.discard(w)
-                    break
+        candidate_set = surviving[v]
         if len(candidate_set) > candidate_cap:
             candidate_set = set()
         candidates[v] = candidate_set
@@ -191,11 +277,115 @@ def build_proximity_graph(
 
     for v in participants:
         kept: Set[int] = set()
+        heard_v = graph.heard.get(v, [])
+        for w in candidates[v]:
+            if w in candidates and v in candidates[w] and w in heard_v:
+                kept.add(w)
+        graph.adjacency[v] = kept
+    # Symmetrize defensively (mutual condition above already implies symmetry).
+    for v in participants:
+        for w in graph.adjacency.get(v, set()):
+            graph.adjacency.setdefault(w, set()).add(v)
+
+    graph.rounds_used = sim.current_round - start_round
+    return graph
+
+
+def build_proximity_graph_reference(
+    sim: SINRSimulator,
+    participants: Iterable[int],
+    config: AlgorithmConfig,
+    cluster_of: Optional[Mapping[int, int]] = None,
+    phase: str = "proximity",
+) -> ProximityGraph:
+    """The historical (set-and-loop) Algorithm 1, kept for equivalence tests.
+
+    Executes through the reference schedule runners and the original
+    candidates x rounds filtering loop; ``tests/test_columnar_equivalence.py``
+    asserts :func:`build_proximity_graph` matches it structure-for-structure,
+    and the schedule-pipeline benchmark times it as the "before" leg.
+    """
+    participants = set(participants)
+    graph = ProximityGraph(participants=participants)
+    if not participants:
+        return graph
+
+    id_space = sim.network.id_space
+    start_round = sim.current_round
+
+    if cluster_of is None:
+        schedule = wss_for(id_space, config)
+        schedule_length = len(schedule)
+        cluster_lookup: Dict[int, int] = {uid: 1 for uid in participants}
+        factory = clustered_message_factory("exchange", cluster_lookup)
+        exchange: ReferenceScheduleResult = run_schedule_reference(
+            sim, schedule, participants, message_factory=factory, phase=f"{phase}:exchange"
+        )
+        scheduled_rounds = {uid: set(schedule.rounds_of(uid)) for uid in participants}
+    else:
+        cluster_lookup = {uid: int(cluster_of[uid]) for uid in participants}
+        schedule = wcss_for(id_space, config)
+        schedule_length = len(schedule)
+        factory = clustered_message_factory("exchange", cluster_lookup)
+        exchange = run_cluster_schedule_reference(
+            sim,
+            schedule,
+            participants,
+            cluster_of=cluster_lookup,
+            message_factory=factory,
+            phase=f"{phase}:exchange",
+        )
+        scheduled_rounds = {
+            uid: {
+                t
+                for t in range(len(schedule))
+                if schedule.transmits_in(uid, cluster_lookup[uid], t)
+            }
+            for uid in participants
+        }
+
+    graph.schedule_length = schedule_length
+
+    candidate_cap = config.effective_candidate_cap
+    candidates: Dict[int, Set[int]] = {}
+    for v in participants:
+        events = exchange.heard_by(v)
+        relevant = [
+            e
+            for e in events
+            if e.message.cluster is None or e.message.cluster == cluster_lookup.get(v)
+        ]
+        heard_senders = []
+        for e in relevant:
+            if e.sender not in heard_senders:
+                heard_senders.append(e.sender)
+        graph.heard[v] = heard_senders
+        candidate_set = set(heard_senders)
+        heard_rounds = {e.round_index: e.sender for e in relevant}
+        for w in heard_senders:
+            for t in scheduled_rounds.get(w, ()):
+                sender_heard = heard_rounds.get(t)
+                if sender_heard is not None and sender_heard != w:
+                    candidate_set.discard(w)
+                    break
+        if len(candidate_set) > candidate_cap:
+            candidate_set = set()
+        candidates[v] = candidate_set
+    graph.candidates = candidates
+
+    confirmation_repetitions = max((len(c) for c in candidates.values()), default=0)
+    confirmation_repetitions = min(confirmation_repetitions, candidate_cap)
+    if confirmation_repetitions:
+        sim.run_silent_rounds(
+            confirmation_repetitions * schedule_length, phase=f"{phase}:confirm"
+        )
+
+    for v in participants:
+        kept: Set[int] = set()
         for w in candidates[v]:
             if w in candidates and v in candidates[w] and w in graph.heard.get(v, []):
                 kept.add(w)
         graph.adjacency[v] = kept
-    # Symmetrize defensively (mutual condition above already implies symmetry).
     for v in participants:
         for w in graph.adjacency.get(v, set()):
             graph.adjacency.setdefault(w, set()).add(v)

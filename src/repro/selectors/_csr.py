@@ -1,0 +1,256 @@
+"""Columnar (CSR) storage for round families.
+
+Every selector schedule in this package is, structurally, a finite sequence
+of subsets of an integer universe ("round ``t`` admits these IDs").  The
+historical representation -- one ``frozenset`` per round -- makes every
+schedule operation (restriction, inverse lookup, execution) a Python-level
+loop, which dominates wall-clock time long before the SINR physics does.
+
+:class:`RoundFamily` stores the same object in CSR form: a ``members`` array
+holding the concatenated, per-round-sorted member values and an ``indptr``
+round-pointer array of length ``rounds + 1`` (round ``t`` owns
+``members[indptr[t]:indptr[t + 1]]``).  All schedule algebra (restriction,
+repetition, concatenation, inverse index) is a handful of NumPy array
+operations, and the frozenset view is materialized lazily only for callers
+that still want Python sets.
+
+The *inverse index* is the same data sorted the other way: for each value,
+the sorted array of rounds admitting it (again in CSR form over the value
+universe).  It is computed once per family, cached, and shared by every
+``rounds_of`` query -- this is what turns the proximity-graph filtering
+phase into a sparse-matrix intersection instead of a candidates x rounds
+scan.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class RoundFamily:
+    """An immutable sequence of integer sets in CSR (columnar) form.
+
+    Parameters
+    ----------
+    indptr:
+        ``(rounds + 1,)`` int array; round ``t`` owns the member slice
+        ``members[indptr[t]:indptr[t + 1]]``.
+    members:
+        Concatenated member values, sorted ascending *within* each round and
+        free of duplicates within a round.
+    """
+
+    __slots__ = ("indptr", "members", "_frozensets", "_inverse", "_round_ids")
+
+    def __init__(self, indptr: np.ndarray, members: np.ndarray) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.members = np.ascontiguousarray(members, dtype=np.int64)
+        if self.indptr.ndim != 1 or len(self.indptr) == 0:
+            raise ValueError("indptr must be a non-empty 1-D array")
+        if int(self.indptr[-1]) != len(self.members):
+            raise ValueError("indptr[-1] must equal len(members)")
+        self._frozensets: Optional[Tuple[FrozenSet[int], ...]] = None
+        self._inverse: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._round_ids: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Constructors.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_sets(cls, rounds: Iterable[Iterable[int]]) -> "RoundFamily":
+        """Build from an iterable of per-round member collections."""
+        per_round: List[np.ndarray] = []
+        for r in rounds:
+            arr = np.fromiter((int(v) for v in r), dtype=np.int64)
+            arr = np.unique(arr)  # sorted + deduplicated
+            per_round.append(arr)
+        counts = np.fromiter((len(a) for a in per_round), dtype=np.int64, count=len(per_round))
+        indptr = np.zeros(len(per_round) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        members = (
+            np.concatenate(per_round) if per_round else np.empty(0, dtype=np.int64)
+        )
+        return cls(indptr, members)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray, values: np.ndarray) -> "RoundFamily":
+        """Build from a ``(rounds, len(values))`` boolean admission matrix.
+
+        Row ``t`` of ``mask`` selects the members of round ``t`` out of
+        ``values`` (which must be sorted ascending for the per-round member
+        ordering invariant to hold).
+        """
+        rows, cols = np.nonzero(mask)
+        counts = np.bincount(rows, minlength=mask.shape[0]).astype(np.int64)
+        indptr = np.zeros(mask.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, np.asarray(values, dtype=np.int64)[cols])
+
+    @classmethod
+    def empty(cls, rounds: int = 0) -> "RoundFamily":
+        """A family of ``rounds`` empty rounds."""
+        return cls(np.zeros(rounds + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors.
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def round(self, t: int) -> np.ndarray:
+        """Members of round ``t`` (sorted ascending; zero-copy view)."""
+        return self.members[self.indptr[t] : self.indptr[t + 1]]
+
+    def counts(self) -> np.ndarray:
+        """Number of members per round."""
+        return np.diff(self.indptr)
+
+    def round_ids(self) -> np.ndarray:
+        """Round index of every entry of ``members`` (cached)."""
+        if self._round_ids is None:
+            self._round_ids = np.repeat(
+                np.arange(len(self), dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._round_ids
+
+    def max_value(self) -> int:
+        """Largest member value (0 for an all-empty family)."""
+        return int(self.members.max()) if len(self.members) else 0
+
+    def min_value(self) -> int:
+        """Smallest member value (0 for an all-empty family)."""
+        return int(self.members.min()) if len(self.members) else 0
+
+    def contains(self, value: int, t: int) -> bool:
+        """Whether ``value`` is a member of round ``t`` (binary search)."""
+        lo, hi = int(self.indptr[t]), int(self.indptr[t + 1])
+        pos = int(np.searchsorted(self.members[lo:hi], value))
+        return pos < hi - lo and int(self.members[lo + pos]) == value
+
+    def frozensets(self) -> Tuple[FrozenSet[int], ...]:
+        """The legacy tuple-of-frozensets view (materialized once, cached)."""
+        if self._frozensets is None:
+            members = self.members.tolist()
+            indptr = self.indptr.tolist()
+            self._frozensets = tuple(
+                frozenset(members[indptr[t] : indptr[t + 1]]) for t in range(len(self))
+            )
+        return self._frozensets
+
+    # ------------------------------------------------------------------ #
+    # Inverse index (value -> sorted rounds).
+    # ------------------------------------------------------------------ #
+
+    def inverse(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR inverse index ``(indptr_by_value, rounds)`` over ``[0, max]``.
+
+        ``rounds[indptr_by_value[v]:indptr_by_value[v + 1]]`` is the sorted
+        array of rounds admitting value ``v``.  Computed once and cached.
+        """
+        if self._inverse is None:
+            size = self.max_value() + 1
+            counts = np.bincount(self.members, minlength=size).astype(np.int64)
+            indptr = np.zeros(size + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            # Stable sort by member keeps the round-major order, so rounds
+            # come out ascending within each value.
+            order = np.argsort(self.members, kind="stable")
+            self._inverse = (indptr, self.round_ids()[order])
+        return self._inverse
+
+    def rounds_of(self, value: int) -> np.ndarray:
+        """Sorted rounds admitting ``value`` (zero-copy view into the inverse)."""
+        indptr, rounds = self.inverse()
+        if value < 0 or value + 1 >= len(indptr):
+            return np.empty(0, dtype=np.int64)
+        return rounds[indptr[value] : indptr[value + 1]]
+
+    # ------------------------------------------------------------------ #
+    # Algebra.
+    # ------------------------------------------------------------------ #
+
+    def restrict_to_mask(self, keep: np.ndarray) -> "RoundFamily":
+        """Family induced by dropping members ``v`` with ``not keep[v]``.
+
+        ``keep`` is a boolean lookup array indexed by member value; it must
+        cover ``max_value()``.
+        """
+        flags = keep[self.members]
+        counts = np.bincount(self.round_ids()[flags], minlength=len(self)).astype(np.int64)
+        indptr = np.zeros(len(self) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return RoundFamily(indptr, self.members[flags])
+
+    def restrict_to(self, values: Iterable[int], universe: int) -> "RoundFamily":
+        """Family induced on ``values`` (members outside are dropped)."""
+        keep = np.zeros(universe + 1, dtype=bool)
+        vals = np.fromiter((int(v) for v in values), dtype=np.int64)
+        vals = vals[(vals >= 0) & (vals <= universe)]
+        keep[vals] = True
+        return self.restrict_to_mask(keep)
+
+    def tile(self, times: int) -> "RoundFamily":
+        """This family repeated ``times`` times back to back."""
+        if times <= 0:
+            raise ValueError("times must be positive")
+        counts = np.tile(np.diff(self.indptr), times)
+        indptr = np.zeros(times * len(self) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return RoundFamily(indptr, np.tile(self.members, times))
+
+    def concat(self, other: "RoundFamily") -> "RoundFamily":
+        """This family followed by ``other``."""
+        counts = np.concatenate([np.diff(self.indptr), np.diff(other.indptr)])
+        indptr = np.zeros(len(self) + len(other) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return RoundFamily(indptr, np.concatenate([self.members, other.members]))
+
+    # ------------------------------------------------------------------ #
+    # Comparison.
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoundFamily):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.members, other.members)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.indptr.tobytes(), self.members.tobytes()))
+
+
+def sorted_lookup(keys: np.ndarray, probes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Binary-search ``probes`` in the sorted ``keys`` array.
+
+    Returns ``(found, positions)``: a boolean hit mask and, for every probe,
+    a position that is safe to gather from ``keys``-aligned value arrays
+    (clipped in-bounds; only meaningful where ``found`` is true).  This is
+    the membership-probe idiom shared by the cluster-gate of the schedule
+    runner and the proximity-graph filtering join.
+    """
+    if not len(keys):
+        return np.zeros(len(probes), dtype=bool), np.zeros(len(probes), dtype=np.int64)
+    positions = np.searchsorted(keys, probes)
+    clipped = np.minimum(positions, len(keys) - 1)
+    return (positions < len(keys)) & (keys[clipped] == probes), clipped
+
+
+def expand_slices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start_i, start_i + count_i)`` index arrays.
+
+    The vectorized "gather these CSR slices" primitive: the result indexes a
+    data array to pull out ``counts[i]`` consecutive entries from position
+    ``starts[i]``, for all ``i``, without a Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    which = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    return starts[which] + offsets

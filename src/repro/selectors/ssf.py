@@ -20,45 +20,83 @@ Two constructions are provided:
 
 Every family is represented by :class:`TransmissionSchedule`, which is the
 object the simulator consumes (round ``t`` -> set of IDs allowed to
-transmit).
+transmit).  Since the columnar-pipeline rework the schedule is stored in CSR
+form (:class:`~repro.selectors._csr.RoundFamily`): a round-pointer array plus
+a concatenated member-index array, with a cached per-node inverse index.  The
+``rounds`` attribute still exposes the historical tuple-of-frozensets view,
+materialized lazily, so set-based callers keep working unchanged.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ._csr import RoundFamily
+
+# --------------------------------------------------------------------- #
+# Incremental prime sieve.
+#
+# ``first_primes_at_least`` used to re-sieve from scratch on every limit
+# doubling; the module now keeps one growing sieve (as a sorted prime list)
+# and every query slices it, extending by segmented sieving only when the
+# cached range is too short.
+# --------------------------------------------------------------------- #
+
+_PRIMES: List[int] = [2, 3, 5, 7, 11, 13]
+_SIEVE_LIMIT: int = 13
+
+
+def _extend_sieve(limit: int) -> None:
+    """Grow the cached prime list to cover ``[2, limit]`` (segmented sieve)."""
+    global _SIEVE_LIMIT
+    if limit <= _SIEVE_LIMIT:
+        return
+    # Base primes up to sqrt(limit) must be available first.
+    root = int(math.isqrt(limit))
+    if root > _SIEVE_LIMIT:
+        _extend_sieve(root)
+    lo, hi = _SIEVE_LIMIT + 1, limit
+    segment = np.ones(hi - lo + 1, dtype=bool)
+    for p in _PRIMES:
+        if p * p > hi:
+            break
+        start = max(p * p, ((lo + p - 1) // p) * p)
+        segment[start - lo :: p] = False
+    _PRIMES.extend(int(v) for v in np.nonzero(segment)[0] + lo)
+    _SIEVE_LIMIT = limit
+
 
 def primes_up_to(limit: int) -> List[int]:
-    """All primes ``<= limit`` by a simple sieve."""
+    """All primes ``<= limit`` (served from the growing cached sieve)."""
     if limit < 2:
         return []
-    sieve = np.ones(limit + 1, dtype=bool)
-    sieve[:2] = False
-    for p in range(2, int(limit**0.5) + 1):
-        if sieve[p]:
-            sieve[p * p :: p] = False
-    return [int(p) for p in np.nonzero(sieve)[0]]
+    if limit > _SIEVE_LIMIT:
+        _extend_sieve(max(limit, 2 * _SIEVE_LIMIT))
+    return _PRIMES[: bisect_right(_PRIMES, limit)]
 
 
 def first_primes_at_least(count: int, lower: int) -> List[int]:
-    """The first ``count`` primes that are ``>= lower``."""
+    """The first ``count`` primes that are ``>= lower``.
+
+    The cached sieve is extended by doubling until it holds enough primes;
+    queries never re-sieve a range that is already covered.
+    """
     if count <= 0:
         return []
-    found: List[int] = []
-    limit = max(lower * 2, 16)
-    while len(found) < count:
-        candidates = [p for p in primes_up_to(limit) if p >= lower]
-        found = candidates[:count]
+    limit = max(_SIEVE_LIMIT, lower * 2, 16)
+    while True:
+        _extend_sieve(limit)
+        start = bisect_left(_PRIMES, lower)
+        if len(_PRIMES) - start >= count:
+            return _PRIMES[start : start + count]
         limit *= 2
-    return found
 
 
-@dataclass(frozen=True)
 class TransmissionSchedule:
     """A finite sequence of transmitter sets over the ID space ``[N]``.
 
@@ -66,49 +104,111 @@ class TransmissionSchedule:
     the schedule.  Schedules are immutable and reusable; the simulation layer
     (``repro.simulation.schedule``) knows how to execute them against a
     network, restricted to an arbitrary set of participating nodes.
+
+    Internally the schedule is columnar (CSR round-pointer + member-index
+    arrays, see :class:`~repro.selectors._csr.RoundFamily`); ``rounds`` is a
+    lazily materialized frozenset view kept for API compatibility.
     """
 
-    id_space: int
-    rounds: Tuple[FrozenSet[int], ...]
-    name: str = "schedule"
+    __slots__ = ("id_space", "name", "_family")
 
-    def __post_init__(self) -> None:
-        if self.id_space <= 0:
+    def __init__(
+        self,
+        id_space: int,
+        rounds: Iterable[Iterable[int]] = (),
+        name: str = "schedule",
+        *,
+        family: Optional[RoundFamily] = None,
+    ) -> None:
+        if id_space <= 0:
             raise ValueError("id_space must be positive")
-        for r in self.rounds:
-            for uid in r:
-                if not 1 <= uid <= self.id_space:
-                    raise ValueError(f"ID {uid} outside [1, {self.id_space}]")
+        if family is None:
+            family = RoundFamily.from_sets(rounds)
+        if len(family.members) and not (
+            1 <= family.min_value() and family.max_value() <= id_space
+        ):
+            bad = family.min_value() if family.min_value() < 1 else family.max_value()
+            raise ValueError(f"ID {bad} outside [1, {id_space}]")
+        self.id_space = int(id_space)
+        self.name = name
+        self._family = family
+
+    # ------------------------------------------------------------------ #
+    # Columnar accessors (the hot path of the schedule runners).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def family(self) -> RoundFamily:
+        """The CSR representation of this schedule."""
+        return self._family
+
+    def member_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indptr, members)``: round-pointer and member-index arrays."""
+        return self._family.indptr, self._family.members
+
+    def rounds_of_array(self, uid: int) -> np.ndarray:
+        """Rounds admitting ``uid`` as a sorted array (cached inverse index)."""
+        return self._family.rounds_of(uid)
+
+    def inverse_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR inverse index ``(indptr_by_uid, rounds)`` (cached)."""
+        return self._family.inverse()
+
+    # ------------------------------------------------------------------ #
+    # Legacy (set-view) API.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rounds(self) -> Tuple[FrozenSet[int], ...]:
+        """The tuple-of-frozensets view of the schedule (lazy, cached)."""
+        return self._family.frozensets()
 
     def __len__(self) -> int:
-        return len(self.rounds)
+        return len(self._family)
 
     def __iter__(self):
         return iter(self.rounds)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransmissionSchedule):
+            return NotImplemented
+        return (
+            self.id_space == other.id_space
+            and self.name == other.name
+            and self._family == other._family
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.id_space, self.name, self._family))
+
+    def __repr__(self) -> str:
+        return (
+            f"TransmissionSchedule(id_space={self.id_space}, "
+            f"rounds={len(self._family)}, name={self.name!r})"
+        )
+
     def transmits_in(self, uid: int, round_index: int) -> bool:
         """Whether node ``uid`` is scheduled to transmit in round ``round_index``."""
-        return uid in self.rounds[round_index]
+        return self._family.contains(uid, round_index)
 
     def rounds_of(self, uid: int) -> List[int]:
         """All round indices in which ``uid`` is scheduled to transmit."""
-        return [t for t, r in enumerate(self.rounds) if uid in r]
+        return self._family.rounds_of(uid).tolist()
 
     def restricted_to(self, ids: Iterable[int]) -> "TransmissionSchedule":
         """The schedule induced on a subset of IDs (other IDs never transmit)."""
-        allowed = set(ids)
         return TransmissionSchedule(
             id_space=self.id_space,
-            rounds=tuple(frozenset(r & allowed) for r in self.rounds),
+            family=self._family.restrict_to(ids, self.id_space),
             name=f"{self.name}|restricted",
         )
 
     def repeated(self, times: int) -> "TransmissionSchedule":
         """The schedule concatenated with itself ``times`` times."""
-        if times <= 0:
-            raise ValueError("times must be positive")
         return TransmissionSchedule(
-            id_space=self.id_space, rounds=self.rounds * times, name=f"{self.name}x{times}"
+            id_space=self.id_space,
+            family=self._family.tile(times),
+            name=f"{self.name}x{times}",
         )
 
     def concatenated(self, other: "TransmissionSchedule") -> "TransmissionSchedule":
@@ -117,7 +217,7 @@ class TransmissionSchedule:
             raise ValueError("cannot concatenate schedules over different ID spaces")
         return TransmissionSchedule(
             id_space=self.id_space,
-            rounds=self.rounds + other.rounds,
+            family=self._family.concat(other._family),
             name=f"{self.name}+{other.name}",
         )
 
@@ -129,9 +229,11 @@ def round_robin_schedule(id_space: int, ids: Optional[Iterable[int]] = None) -> 
     tests of higher-level algorithm logic.
     """
     if ids is None:
-        ids = range(1, id_space + 1)
-    rounds = tuple(frozenset({int(uid)}) for uid in ids)
-    return TransmissionSchedule(id_space=id_space, rounds=rounds, name=f"round-robin({id_space})")
+        members = np.arange(1, id_space + 1, dtype=np.int64)
+    else:
+        members = np.fromiter((int(uid) for uid in ids), dtype=np.int64)
+    family = RoundFamily(np.arange(len(members) + 1, dtype=np.int64), members)
+    return TransmissionSchedule(id_space=id_space, family=family, name=f"round-robin({id_space})")
 
 
 def prime_residue_ssf(id_space: int, k: int) -> TransmissionSchedule:
@@ -143,6 +245,10 @@ def prime_residue_ssf(id_space: int, k: int) -> TransmissionSchedule:
     ``k * ceil(log_2 N) + 1`` primes, for every set ``X`` of size ``<= k`` and
     every ``x`` in ``X`` there is a prime modulo which ``x`` differs from all
     other elements of ``X`` -- the corresponding round selects ``x``.
+
+    Residue classes are built columnarly: one ``argsort`` of ``ids mod p``
+    per prime groups all members at once instead of scanning the whole ID
+    space once per (prime, residue) pair.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -153,19 +259,31 @@ def prime_residue_ssf(id_space: int, k: int) -> TransmissionSchedule:
         # A single round containing everything selects the unique element.
         return TransmissionSchedule(
             id_space=id_space,
-            rounds=(frozenset(range(1, id_space + 1)),),
+            family=RoundFamily(
+                np.array([0, id_space], dtype=np.int64),
+                np.arange(1, id_space + 1, dtype=np.int64),
+            ),
             name=f"ssf(N={id_space},k=1)",
         )
     needed = (k - 1) * max(1, math.ceil(math.log2(id_space))) + 1
     prime_list = first_primes_at_least(needed, 2)
-    rounds: List[FrozenSet[int]] = []
+    ids = np.arange(1, id_space + 1, dtype=np.int64)
+    member_parts: List[np.ndarray] = []
+    count_parts: List[np.ndarray] = []
     for p in prime_list:
-        for residue in range(min(p, id_space + 1)):
-            members = frozenset(v for v in range(1, id_space + 1) if v % p == residue)
-            if members:
-                rounds.append(members)
+        residues = ids % p
+        # Stable sort groups each residue class; within a class the ids stay
+        # ascending, matching the per-round sorted-members invariant.
+        order = np.argsort(residues, kind="stable")
+        counts = np.bincount(residues, minlength=min(p, id_space + 1))
+        member_parts.append(ids[order])
+        count_parts.append(counts[counts > 0])
+    counts_all = np.concatenate(count_parts)
+    indptr = np.zeros(len(counts_all) + 1, dtype=np.int64)
+    np.cumsum(counts_all, out=indptr[1:])
+    family = RoundFamily(indptr, np.concatenate(member_parts))
     return TransmissionSchedule(
-        id_space=id_space, rounds=tuple(rounds), name=f"ssf(N={id_space},k={k})"
+        id_space=id_space, family=family, name=f"ssf(N={id_space},k={k})"
     )
 
 
@@ -186,6 +304,51 @@ def verify_ssf(
                 if not any(r & subset_set == {x} for r in schedule.rounds):
                     return False
     return True
+
+
+#: Cap on the number of mask elements materialized per chunk by the seeded
+#: randomized constructions (rows x id_space booleans per chunk).
+_CONSTRUCTION_CHUNK_ELEMENTS = 8_000_000
+
+
+def sampled_family(
+    rng: np.random.Generator,
+    id_space: int,
+    length: int,
+    probability,
+    drop_empty: bool,
+    streams: int = 1,
+) -> List[RoundFamily]:
+    """``streams`` interleaved Bernoulli round families, drawn columnarly.
+
+    Draws ``length * streams`` rows of ``id_space`` uniforms in row-major
+    order -- the exact RNG stream a round-by-round loop would consume -- and
+    converts them to CSR in chunks.  ``streams > 1`` yields families whose
+    rows alternate in the draw order (used by the wcss, which samples a node
+    row and a cluster row per round); ``probability`` may be a scalar or one
+    admission probability per stream.
+    """
+    ids = np.arange(1, id_space + 1, dtype=np.int64)
+    thresholds = np.broadcast_to(np.asarray(probability, dtype=float), (streams,))
+    rows_per_chunk = max(1, _CONSTRUCTION_CHUNK_ELEMENTS // max(1, id_space * streams))
+    parts: List[List[RoundFamily]] = [[] for _ in range(streams)]
+    done = 0
+    while done < length:
+        chunk = min(rows_per_chunk, length - done)
+        uniforms = rng.random((chunk, streams, id_space))
+        for s in range(streams):
+            sub = uniforms[:, s, :] < thresholds[s]
+            if drop_empty:
+                sub = sub[sub.any(axis=1)]
+            parts[s].append(RoundFamily.from_mask(sub, ids))
+        done += chunk
+    out: List[RoundFamily] = []
+    for s in range(streams):
+        family = parts[s][0]
+        for nxt in parts[s][1:]:
+            family = family.concat(nxt)
+        out.append(family)
+    return out
 
 
 def greedy_random_ssf(
@@ -210,13 +373,7 @@ def greedy_random_ssf(
     rng = np.random.default_rng(seed)
     if max_rounds is None:
         max_rounds = int(math.ceil(3.0 * math.e * k * k * (math.log(id_space) + 2)))
-    rounds: List[FrozenSet[int]] = []
-    ids = np.arange(1, id_space + 1)
-    for _ in range(max_rounds):
-        mask = rng.random(id_space) < (1.0 / k)
-        members = frozenset(int(v) for v in ids[mask])
-        if members:
-            rounds.append(members)
+    (family,) = sampled_family(rng, id_space, max_rounds, 1.0 / k, drop_empty=True)
     return TransmissionSchedule(
-        id_space=id_space, rounds=tuple(rounds), name=f"random-ssf(N={id_space},k={k},seed={seed})"
+        id_space=id_space, family=family, name=f"random-ssf(N={id_space},k={k},seed={seed})"
     )

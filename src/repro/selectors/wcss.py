@@ -20,19 +20,26 @@ As with the wss, the construction is seeded (hence deterministic and shared
 by all nodes), the faithful ``O((k+l) l k^2 log N)`` length is available via
 ``faithful=True``, and a compact default keeps simulations laptop-scale; see
 DESIGN.md §5.
+
+Both stages are stored columnarly (CSR round families, see
+:mod:`repro.selectors._csr`); ``node_rounds`` / ``cluster_rounds`` remain
+available as lazy frozenset views, and :meth:`ClusterAwareSchedule.rounds_of`
+answers "in which rounds does node ``v`` of cluster ``phi`` transmit?" from
+the cached inverse indexes instead of scanning the schedule.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ._csr import RoundFamily
+from .ssf import sampled_family
 
-@dataclass(frozen=True)
+
 class ClusterAwareSchedule:
     """A transmission schedule for clustered sets of nodes.
 
@@ -42,40 +49,121 @@ class ClusterAwareSchedule:
     ``v in node_rounds[t]`` and ``phi in cluster_rounds[t]``.
     """
 
-    id_space: int
-    node_rounds: Tuple[FrozenSet[int], ...]
-    cluster_rounds: Tuple[FrozenSet[int], ...]
-    name: str = "wcss"
+    __slots__ = ("id_space", "name", "_nodes", "_clusters")
 
-    def __post_init__(self) -> None:
-        if self.id_space <= 0:
+    def __init__(
+        self,
+        id_space: int,
+        node_rounds: Iterable[Iterable[int]] = (),
+        cluster_rounds: Iterable[Iterable[int]] = (),
+        name: str = "wcss",
+        *,
+        node_family: Optional[RoundFamily] = None,
+        cluster_family: Optional[RoundFamily] = None,
+    ) -> None:
+        if id_space <= 0:
             raise ValueError("id_space must be positive")
-        if len(self.node_rounds) != len(self.cluster_rounds):
+        if node_family is None:
+            node_family = RoundFamily.from_sets(node_rounds)
+        if cluster_family is None:
+            cluster_family = RoundFamily.from_sets(cluster_rounds)
+        if len(node_family) != len(cluster_family):
             raise ValueError("node_rounds and cluster_rounds must have the same length")
+        self.id_space = int(id_space)
+        self.name = name
+        self._nodes = node_family
+        self._clusters = cluster_family
+
+    # ------------------------------------------------------------------ #
+    # Columnar accessors.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_family(self) -> RoundFamily:
+        """CSR representation of the per-round allowed node IDs."""
+        return self._nodes
+
+    @property
+    def cluster_family(self) -> RoundFamily:
+        """CSR representation of the per-round allowed cluster IDs."""
+        return self._clusters
+
+    def node_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indptr, members)`` of the node stage."""
+        return self._nodes.indptr, self._nodes.members
+
+    def cluster_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indptr, members)`` of the cluster stage."""
+        return self._clusters.indptr, self._clusters.members
+
+    def rounds_of_array(self, uid: int, cluster: int) -> np.ndarray:
+        """Sorted rounds in which ``(uid, cluster)`` transmits.
+
+        The intersection of the node inverse index of ``uid`` with the
+        cluster inverse index of ``cluster`` -- no per-round scan.
+        """
+        return np.intersect1d(
+            self._nodes.rounds_of(uid),
+            self._clusters.rounds_of(cluster),
+            assume_unique=True,
+        )
+
+    def rounds_of(self, uid: int, cluster: int) -> List[int]:
+        """Rounds in which node ``uid`` of cluster ``cluster`` transmits."""
+        return self.rounds_of_array(uid, cluster).tolist()
+
+    # ------------------------------------------------------------------ #
+    # Legacy (set-view) API.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_rounds(self) -> Tuple[FrozenSet[int], ...]:
+        """Per-round allowed node IDs as frozensets (lazy, cached)."""
+        return self._nodes.frozensets()
+
+    @property
+    def cluster_rounds(self) -> Tuple[FrozenSet[int], ...]:
+        """Per-round allowed cluster IDs as frozensets (lazy, cached)."""
+        return self._clusters.frozensets()
 
     def __len__(self) -> int:
-        return len(self.node_rounds)
+        return len(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterAwareSchedule):
+            return NotImplemented
+        return (
+            self.id_space == other.id_space
+            and self.name == other.name
+            and self._nodes == other._nodes
+            and self._clusters == other._clusters
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.id_space, self.name, self._nodes, self._clusters))
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterAwareSchedule(id_space={self.id_space}, "
+            f"rounds={len(self._nodes)}, name={self.name!r})"
+        )
 
     def transmits_in(self, uid: int, cluster: int, round_index: int) -> bool:
         """Whether node ``uid`` of cluster ``cluster`` transmits in the given round."""
-        return (
-            uid in self.node_rounds[round_index]
-            and cluster in self.cluster_rounds[round_index]
+        return self._nodes.contains(uid, round_index) and self._clusters.contains(
+            cluster, round_index
         )
 
     def round_is_free_of(self, round_index: int, clusters: Iterable[int]) -> bool:
         """Whether the round admits none of the given clusters."""
-        allowed = self.cluster_rounds[round_index]
-        return not any(c in allowed for c in clusters)
+        return not any(self._clusters.contains(c, round_index) for c in clusters)
 
     def repeated(self, times: int) -> "ClusterAwareSchedule":
         """The schedule concatenated with itself ``times`` times."""
-        if times <= 0:
-            raise ValueError("times must be positive")
         return ClusterAwareSchedule(
             id_space=self.id_space,
-            node_rounds=self.node_rounds * times,
-            cluster_rounds=self.cluster_rounds * times,
+            node_family=self._nodes.tile(times),
+            cluster_family=self._clusters.tile(times),
             name=f"{self.name}x{times}",
         )
 
@@ -108,7 +196,13 @@ def random_wcss(
     faithful: bool = False,
     length: Optional[int] = None,
 ) -> ClusterAwareSchedule:
-    """Seeded probabilistic-method construction of an ``(N, k, l)``-wcss."""
+    """Seeded probabilistic-method construction of an ``(N, k, l)``-wcss.
+
+    The node and cluster stages are drawn in the exact interleaved order a
+    round-by-round loop would use (node row, then cluster row, per round), so
+    the construction is stream-compatible with the historical one, but the
+    masks are converted to CSR columnarly.
+    """
     if id_space <= 0:
         raise ValueError("id_space must be positive")
     if k <= 0 or l <= 0:
@@ -118,20 +212,20 @@ def random_wcss(
     rng = np.random.default_rng(seed)
     if length is None:
         length = wcss_length(id_space, k, l, size_factor=size_factor, faithful=faithful)
-    ids = np.arange(1, id_space + 1)
     node_probability = 1.0 / max(k, 2)
     cluster_probability = 1.0 / max(l, 2)
-    node_rounds: List[FrozenSet[int]] = []
-    cluster_rounds: List[FrozenSet[int]] = []
-    for _ in range(length):
-        node_mask = rng.random(id_space) < node_probability
-        cluster_mask = rng.random(id_space) < cluster_probability
-        node_rounds.append(frozenset(int(v) for v in ids[node_mask]))
-        cluster_rounds.append(frozenset(int(v) for v in ids[cluster_mask]))
+    node_family, cluster_family = sampled_family(
+        rng,
+        id_space,
+        length,
+        (node_probability, cluster_probability),
+        drop_empty=False,
+        streams=2,
+    )
     return ClusterAwareSchedule(
         id_space=id_space,
-        node_rounds=tuple(node_rounds),
-        cluster_rounds=tuple(cluster_rounds),
+        node_family=node_family,
+        cluster_family=cluster_family,
         name=f"wcss(N={id_space},k={k},l={l},seed={seed})",
     )
 
@@ -148,23 +242,25 @@ def cluster_witness_rounds(
 
     ``blockers`` are the other members of ``X`` (same cluster as ``selected``)
     and ``conflicts`` the clusters that must stay silent in the round.
+    Answered by sorted-array set algebra over the cached inverse indexes.
     """
-    blocker_set = set(blockers) - {selected}
-    conflict_set = set(conflicts) - {cluster}
-    rounds: List[int] = []
-    for t in range(len(schedule)):
-        nodes = schedule.node_rounds[t]
-        clusters = schedule.cluster_rounds[t]
-        if cluster not in clusters:
-            continue
-        if conflict_set & clusters:
-            continue
-        if selected not in nodes or witness not in nodes:
-            continue
-        if blocker_set & nodes:
-            continue
-        rounds.append(t)
-    return rounds
+    nodes = schedule.node_family
+    clusters = schedule.cluster_family
+    candidate = np.intersect1d(
+        schedule.rounds_of_array(selected, cluster),
+        nodes.rounds_of(witness),
+        assume_unique=True,
+    )
+    if not len(candidate):
+        return []
+    blocked: List[np.ndarray] = [
+        nodes.rounds_of(b) for b in set(blockers) - {selected}
+    ]
+    blocked += [clusters.rounds_of(c) for c in set(conflicts) - {cluster}]
+    if blocked:
+        bad = np.unique(np.concatenate(blocked))
+        candidate = np.setdiff1d(candidate, bad, assume_unique=True)
+    return candidate.tolist()
 
 
 def verify_wcss(

@@ -17,6 +17,11 @@ specific sets that actually occur in a simulation.
 
 The ``size_factor`` knob trades schedule length against the probability of a
 missing witness; see DESIGN.md §5 (substitution 2 and 3).
+
+Construction and the witness/selection queries are columnar: the rounds are
+sampled as boolean admission matrices (exact RNG-stream compatible with a
+round-by-round loop) and the queries intersect the schedule's cached inverse
+index instead of scanning every round.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from .ssf import TransmissionSchedule
+from .ssf import TransmissionSchedule, sampled_family
 
 
 def wss_length(id_space: int, k: int, size_factor: float = 1.0, faithful: bool = False) -> int:
@@ -64,15 +69,11 @@ def random_wss(
     rng = np.random.default_rng(seed)
     if length is None:
         length = wss_length(id_space, k, size_factor=size_factor, faithful=faithful)
-    ids = np.arange(1, id_space + 1)
     probability = 1.0 / max(k, 2)
-    rounds: List[frozenset] = []
-    for _ in range(length):
-        mask = rng.random(id_space) < probability
-        rounds.append(frozenset(int(v) for v in ids[mask]))
+    (family,) = sampled_family(rng, id_space, length, probability, drop_empty=False)
     return TransmissionSchedule(
         id_space=id_space,
-        rounds=tuple(rounds),
+        family=family,
         name=f"wss(N={id_space},k={k},seed={seed})",
     )
 
@@ -84,25 +85,38 @@ def witness_rounds(
 
     ``blockers`` should be ``X \\ {selected}``; an empty result means the
     witnessed selection property fails for this particular triple.
+
+    Answered from the schedule's inverse index: an intersection of the two
+    sorted round lists minus the union of the blockers' round lists.
     """
-    blocker_set = set(blockers) - {selected}
-    result: List[int] = []
-    for t, members in enumerate(schedule.rounds):
-        if selected in members and witness in members and not (blocker_set & members):
-            result.append(t)
-    return result
+    both = np.intersect1d(
+        schedule.rounds_of_array(selected),
+        schedule.rounds_of_array(witness),
+        assume_unique=True,
+    )
+    blocked = _blocked_rounds(schedule, blockers, exclude=selected)
+    return np.setdiff1d(both, blocked, assume_unique=True).tolist()
 
 
 def selection_rounds(
     schedule: TransmissionSchedule, selected: int, blockers: Iterable[int]
 ) -> List[int]:
     """Rounds in which ``selected`` transmits and no blocker does (plain ssf selection)."""
-    blocker_set = set(blockers) - {selected}
-    return [
-        t
-        for t, members in enumerate(schedule.rounds)
-        if selected in members and not (blocker_set & members)
+    own = schedule.rounds_of_array(selected)
+    blocked = _blocked_rounds(schedule, blockers, exclude=selected)
+    return np.setdiff1d(own, blocked, assume_unique=True).tolist()
+
+
+def _blocked_rounds(
+    schedule: TransmissionSchedule, blockers: Iterable[int], exclude: int
+) -> np.ndarray:
+    """Sorted union of the rounds admitting any blocker (``exclude`` dropped)."""
+    rounds = [
+        schedule.rounds_of_array(b) for b in set(blockers) - {exclude}
     ]
+    if not rounds:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(rounds))
 
 
 def verify_wss(

@@ -1,6 +1,6 @@
 """Synchronous round-based simulation layer for the SINR model."""
 
-from .engine import SINRSimulator
+from .engine import ScheduleDeliveries, SINRSimulator
 from .messages import Message, message_bits
 from .metrics import ExperimentSample, RoundMeter, summarize_samples
 from .protocol import NodeProtocol, ProtocolRun, run_protocol
@@ -22,6 +22,7 @@ __all__ = [
     "ReceptionEvent",
     "RoundMeter",
     "RoundRecord",
+    "ScheduleDeliveries",
     "ScheduleResult",
     "SINRSimulator",
     "message_bits",

@@ -32,6 +32,7 @@ experiments.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +40,35 @@ import numpy as np
 from ..sinr.network import WirelessNetwork
 from .messages import Message
 from .trace import ExecutionTrace, RoundRecord
+
+
+@dataclass(frozen=True)
+class ScheduleDeliveries:
+    """Columnar outcome of a batched schedule execution, in uid space.
+
+    One row per successful reception: ``receiver_uids[i]`` decoded
+    ``sender_uids[i]`` in schedule-relative round ``round_ids[i]``.  Rows are
+    sorted round-major.  This is what the columnar schedule runners consume;
+    :meth:`per_round_pairs` provides the legacy list-of-pairs view.
+    """
+
+    num_rounds: int
+    round_ids: np.ndarray
+    receiver_uids: np.ndarray
+    sender_uids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.round_ids)
+
+    def per_round_pairs(self) -> List[List[Tuple[int, int]]]:
+        """Per-round ``(receiver uid, sender uid)`` pair lists (legacy shape)."""
+        bounds = np.searchsorted(self.round_ids, np.arange(self.num_rounds + 1))
+        receivers = self.receiver_uids.tolist()
+        senders = self.sender_uids.tolist()
+        return [
+            list(zip(receivers[bounds[t] : bounds[t + 1]], senders[bounds[t] : bounds[t + 1]]))
+            for t in range(self.num_rounds)
+        ]
 
 
 class SINRSimulator:
@@ -219,9 +249,49 @@ class SINRSimulator:
         deliveries.  Messages are not threaded through this API; callers
         attach them per sender (see :mod:`repro.simulation.schedule`).
         """
-        rounds = [list(r) for r in rounds]
+        norm_rounds = [list(dict.fromkeys(int(u) for u in r)) for r in rounds]
+        counts = np.fromiter((len(r) for r in norm_rounds), dtype=np.int64, count=len(norm_rounds))
+        tx_uids = (
+            np.concatenate([np.asarray(r, dtype=np.int64) for r in norm_rounds if r])
+            if counts.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        round_ids = np.repeat(np.arange(len(norm_rounds), dtype=np.int64), counts)
+        deliveries = self.run_schedule_table(
+            len(norm_rounds),
+            round_ids,
+            tx_uids,
+            listeners=listeners,
+            phase=phase,
+            wake_on_reception=wake_on_reception,
+        )
+        return deliveries.per_round_pairs()
+
+    def run_schedule_table(
+        self,
+        num_rounds: int,
+        tx_round_ids: np.ndarray,
+        tx_uids: np.ndarray,
+        listeners: Optional[Iterable[int]] = None,
+        phase: str = "",
+        wake_on_reception: bool = False,
+    ) -> ScheduleDeliveries:
+        """Execute a columnar transmitter table as one batch (the native path).
+
+        ``tx_round_ids`` / ``tx_uids`` are parallel arrays, sorted round-major
+        with no duplicate uid within a round: entry ``i`` says node
+        ``tx_uids[i]`` transmits in relative round ``tx_round_ids[i]``.  The
+        semantics (listener defaults, half-duplex, wake model, counters,
+        trace records, silent-round charging) are exactly those of
+        :meth:`run_schedule`; the difference is purely representational --
+        transmitter sets stay NumPy arrays end to end and the result is a
+        columnar :class:`ScheduleDeliveries` table.
+        """
+        tx_round_ids = np.ascontiguousarray(tx_round_ids, dtype=np.int64)
+        tx_uids = np.ascontiguousarray(tx_uids, dtype=np.int64)
         network = self._network
-        tx_index_rounds = [network.indices_of(r) for r in rounds]
+        tx_indices = network.indices_of_array(tx_uids)
+        indptr = np.searchsorted(tx_round_ids, np.arange(num_rounds + 1))
 
         # The eligible listener pool is round-independent: waking (the only
         # mid-schedule state change) can only happen under wake_on_reception,
@@ -234,52 +304,59 @@ class SINRSimulator:
             if not wake_on_reception:
                 rx_candidates = rx_candidates[self._awake[rx_candidates]]
 
-        batch = self._network.physics.receptions_batch(tx_index_rounds, listeners=rx_candidates)
+        table = network.physics.receptions_table(indptr, tx_indices, listeners=rx_candidates)
+
+        if wake_on_reception and len(table):
+            asleep = np.unique(table.receivers[~self._awake[table.receivers]])
+            if asleep.size:
+                self._set_awake(asleep.tolist(), True)
 
         uids = self._uids
-        deliveries_per_round: List[List[Tuple[int, int]]] = []
-        pending_silent = 0
-        for tx_uids, outcome in zip(rounds, batch):
-            if not tx_uids:
-                self._round += 1
-                pending_silent += 1
-                deliveries_per_round.append([])
-                continue
-            if pending_silent:
-                if self._trace is not None:
+        receiver_uids = uids[table.receivers]
+        sender_uids = uids[table.senders]
+        self._messages_sent += len(tx_uids)
+        self._messages_delivered += len(table)
+
+        if self._trace is None:
+            self._round += num_rounds
+        else:
+            bounds = np.searchsorted(table.round_ids, np.arange(num_rounds + 1))
+            pending_silent = 0
+            for t in range(num_rounds):
+                if indptr[t] == indptr[t + 1]:
+                    self._round += 1
+                    pending_silent += 1
+                    continue
+                if pending_silent:
                     self._trace.append(
                         RoundRecord(
                             index=self._round, phase=phase, transmitters=(), deliveries={}, skipped=pending_silent
                         )
                     )
-                pending_silent = 0
-            self._round += 1
-            self._messages_sent += len(tx_uids)
-
-            if wake_on_reception and len(outcome):
-                asleep = outcome.receivers[~self._awake[outcome.receivers]]
-                if asleep.size:
-                    self._set_awake(asleep.tolist(), True)
-            receiver_uids = uids[outcome.receivers]
-            sender_uids = uids[outcome.senders]
-            pairs = list(zip(receiver_uids.tolist(), sender_uids.tolist()))
-            self._messages_delivered += len(pairs)
-            deliveries_per_round.append(pairs)
-
-            if self._trace is not None:
+                    pending_silent = 0
+                self._round += 1
+                lo, hi = bounds[t], bounds[t + 1]
                 self._trace.append(
                     RoundRecord(
                         index=self._round,
                         phase=phase,
-                        transmitters=tuple(sorted(tx_uids)),
-                        deliveries={receiver: sender for receiver, sender in pairs},
+                        transmitters=tuple(sorted(tx_uids[indptr[t] : indptr[t + 1]].tolist())),
+                        deliveries={
+                            int(r): int(s)
+                            for r, s in zip(receiver_uids[lo:hi], sender_uids[lo:hi])
+                        },
                     )
                 )
-        if pending_silent and self._trace is not None:
-            self._trace.append(
-                RoundRecord(index=self._round, phase=phase, transmitters=(), deliveries={}, skipped=pending_silent)
-            )
-        return deliveries_per_round
+            if pending_silent:
+                self._trace.append(
+                    RoundRecord(index=self._round, phase=phase, transmitters=(), deliveries={}, skipped=pending_silent)
+                )
+        return ScheduleDeliveries(
+            num_rounds=num_rounds,
+            round_ids=table.round_ids,
+            receiver_uids=receiver_uids,
+            sender_uids=sender_uids,
+        )
 
     def run_silent_rounds(self, count: int, phase: str = "idle") -> None:
         """Advance the round counter by ``count`` rounds with no transmissions.

@@ -77,6 +77,55 @@ def _empty_round() -> RoundReceptions:
     )
 
 
+@dataclass(frozen=True)
+class DeliveryTable:
+    """Columnar outcome of a whole schedule: one row per successful reception.
+
+    The arrays are index-aligned and sorted by ``round_ids`` (round-major);
+    within a round, receivers appear in listener-array order.  This is the
+    native output of :meth:`PhysicsBackend.receptions_table` and what the
+    simulator's columnar schedule path consumes directly -- no per-round
+    Python containers.
+    """
+
+    num_rounds: int
+    round_ids: np.ndarray
+    receivers: np.ndarray
+    senders: np.ndarray
+    sinr: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.round_ids)
+
+    def split_rounds(self) -> List[RoundReceptions]:
+        """Per-round :class:`RoundReceptions` views (legacy batch shape)."""
+        bounds = np.searchsorted(self.round_ids, np.arange(self.num_rounds + 1))
+        out: List[RoundReceptions] = []
+        for t in range(self.num_rounds):
+            lo, hi = bounds[t], bounds[t + 1]
+            if lo == hi:
+                out.append(_empty_round())
+            else:
+                out.append(
+                    RoundReceptions(
+                        receivers=self.receivers[lo:hi],
+                        senders=self.senders[lo:hi],
+                        sinr=self.sinr[lo:hi],
+                    )
+                )
+        return out
+
+
+def _empty_table(num_rounds: int) -> DeliveryTable:
+    return DeliveryTable(
+        num_rounds=num_rounds,
+        round_ids=np.empty(0, dtype=np.int64),
+        receivers=np.empty(0, dtype=np.int64),
+        senders=np.empty(0, dtype=np.int64),
+        sinr=np.empty(0, dtype=float),
+    )
+
+
 class PhysicsBackend(ABC):
     """Abstract SINR physics backend over a fixed ``n``-node placement.
 
@@ -208,6 +257,109 @@ class PhysicsBackend(ABC):
             )
         return result
 
+    def _normalize_listeners(self, listeners: Optional[Sequence[int]]) -> np.ndarray:
+        """Listener index array: defaults to all nodes, dedups preserving order."""
+        if listeners is None:
+            return np.arange(self.size)
+        if isinstance(listeners, np.ndarray) and listeners.dtype.kind in "iu":
+            rx = np.ascontiguousarray(listeners, dtype=np.int64)
+            if rx.size > 1 and not np.all(np.diff(rx) > 0):
+                # Not strictly increasing: may contain duplicates.  Keep the
+                # first occurrence of each listener, in the given order.
+                _, first = np.unique(rx, return_index=True)
+                if len(first) != len(rx):
+                    rx = rx[np.sort(first)]
+            return rx
+        return np.array(list(dict.fromkeys(int(v) for v in listeners)), dtype=np.int64)
+
+    def receptions_table(
+        self,
+        tx_indptr: np.ndarray,
+        tx_members: np.ndarray,
+        listeners: Optional[Sequence[int]] = None,
+    ) -> DeliveryTable:
+        """Evaluate a whole CSR schedule of transmitter sets, columnarly.
+
+        ``tx_members[tx_indptr[t]:tx_indptr[t + 1]]`` are the transmitter
+        indices of round ``t`` (duplicate-free within a round).  The same
+        ``listeners`` apply to every round (default: all nodes), except that
+        a round's own transmitters never receive (half-duplex).  Semantically
+        equivalent to calling :meth:`receptions` once per round -- the
+        property tests assert exactly that -- but rounds are evaluated in
+        chunked vectorized passes with no per-round Python containers, and
+        the result is a single columnar :class:`DeliveryTable`.
+
+        Subclasses may override with a faster representation-specific path
+        (see the dense backend's gemm/top-k implementation); the generic
+        implementation only relies on :meth:`gain_block`.
+        """
+        tx_indptr = np.ascontiguousarray(tx_indptr, dtype=np.int64)
+        tx_members = np.ascontiguousarray(tx_members, dtype=np.int64)
+        num_rounds = len(tx_indptr) - 1
+        rx = self._normalize_listeners(listeners)
+        if rx.size == 0 or num_rounds == 0 or len(tx_members) == 0:
+            return _empty_table(num_rounds)
+
+        noise = self._params.noise
+        threshold = self._params.beta - NUMERIC_TOLERANCE
+        pos_in_rx = np.full(self.size, -1, dtype=np.int64)
+        pos_in_rx[rx] = np.arange(rx.size)
+
+        out_rounds: List[np.ndarray] = []
+        out_receivers: List[np.ndarray] = []
+        out_senders: List[np.ndarray] = []
+        out_sinr: List[np.ndarray] = []
+
+        # Chunk rounds so that (chunk transmitter entries) x (listeners)
+        # stays within the block budget; one gain_block call per chunk.
+        max_rows = max(1, self._BATCH_BLOCK_ELEMENTS // rx.size)
+        counts = np.diff(tx_indptr)
+        start = 0
+        while start < num_rounds:
+            end = start + 1
+            taken = int(counts[start])
+            while end < num_rounds and taken + counts[end] <= max_rows:
+                taken += int(counts[end])
+                end += 1
+            entries = tx_members[tx_indptr[start] : tx_indptr[end]]
+            if entries.size:
+                uniq, inv = np.unique(entries, return_inverse=True)
+                block = self.gain_block(uniq, rx)
+                base = int(tx_indptr[start])
+                for t in range(start, end):
+                    lo, hi = int(tx_indptr[t]) - base, int(tx_indptr[t + 1]) - base
+                    if lo == hi:
+                        continue
+                    gains_sub = block[inv[lo:hi]]
+                    total_power = gains_sub.sum(axis=0)
+                    best_gain = gains_sub.max(axis=0)
+                    # Strongest transmitter == best SINR (see receptions()).
+                    best_sinr = best_gain / (noise + (total_power - best_gain))
+                    ok = best_sinr >= threshold
+                    # Half-duplex: a round's transmitters never receive in it.
+                    tx_slice = entries[lo:hi]
+                    own = pos_in_rx[tx_slice]
+                    ok[own[own >= 0]] = False
+                    picked = np.flatnonzero(ok)
+                    if not picked.size:
+                        continue
+                    winners = gains_sub[:, picked].argmax(axis=0)
+                    out_rounds.append(np.full(picked.size, t, dtype=np.int64))
+                    out_receivers.append(rx[picked])
+                    out_senders.append(tx_slice[winners])
+                    out_sinr.append(best_sinr[picked])
+            start = end
+
+        if not out_rounds:
+            return _empty_table(num_rounds)
+        return DeliveryTable(
+            num_rounds=num_rounds,
+            round_ids=np.concatenate(out_rounds),
+            receivers=np.concatenate(out_receivers),
+            senders=np.concatenate(out_senders),
+            sinr=np.concatenate(out_sinr),
+        )
+
     def receptions_batch(
         self,
         schedule: Sequence[Sequence[int]],
@@ -219,72 +371,23 @@ class PhysicsBackend(ABC):
         ``listeners`` apply to every round (default: all nodes), except that a
         round's own transmitters never receive (half-duplex).  Equivalent to
         calling :meth:`receptions` once per round -- the property tests assert
-        exactly that -- but materializes the gain rows of many rounds in one
-        :meth:`gain_block` call and skips all per-listener Python objects,
-        which is what makes schedule-driven executions fast.
+        exactly that.  This is a thin compatibility wrapper over the columnar
+        :meth:`receptions_table`; new code should prefer the table API.
 
         Returns one :class:`RoundReceptions` per round, in order.
         """
-        norm_rounds = [list(dict.fromkeys(int(t) for t in r)) for r in schedule]
-        if listeners is None:
-            rx = np.arange(self.size)
-        else:
-            rx = np.array(list(dict.fromkeys(int(v) for v in listeners)), dtype=int)
-
-        results: List[RoundReceptions] = [_empty_round()] * len(norm_rounds)
-        if rx.size == 0:
-            return results
-
-        noise = self._params.noise
-        threshold = self._params.beta - NUMERIC_TOLERANCE
-        cols = np.arange(rx.size)
-        rx_pos = {int(v): j for j, v in enumerate(rx)}
-
-        # Chunk rounds so that (distinct transmitters per chunk) x (listeners)
-        # stays within the block budget; one gain_block call per chunk.
-        max_rows = max(1, self._BATCH_BLOCK_ELEMENTS // rx.size)
-        start = 0
-        while start < len(norm_rounds):
-            union: Dict[int, int] = {}
-            end = start
-            while end < len(norm_rounds):
-                new = [t for t in norm_rounds[end] if t not in union]
-                if union and len(union) + len(new) > max_rows:
-                    break
-                for t in new:
-                    union[t] = len(union)
-                end += 1
-            if not union:
-                start = end
-                continue
-
-            block = self.gain_block(np.fromiter(union, dtype=int, count=len(union)), rx)
-            for t in range(start, end):
-                tx_list = norm_rounds[t]
-                if not tx_list:
-                    continue
-                tx_arr = np.fromiter(tx_list, dtype=int, count=len(tx_list))
-                rows = np.fromiter((union[v] for v in tx_list), dtype=int, count=len(tx_list))
-                gains_sub = block[rows]
-                total_power = gains_sub.sum(axis=0)
-                # Strongest transmitter == best SINR (see receptions()).
-                best_idx = np.argmax(gains_sub, axis=0)
-                best_gain = gains_sub[best_idx, cols]
-                best_sinr = best_gain / (noise + (total_power - best_gain))
-                ok = best_sinr >= threshold
-                # Half-duplex: a round's transmitters never receive in it.
-                for v in tx_list:
-                    j = rx_pos.get(v)
-                    if j is not None:
-                        ok[j] = False
-                picked = np.flatnonzero(ok)
-                results[t] = RoundReceptions(
-                    receivers=rx[picked],
-                    senders=tx_arr[best_idx[picked]],
-                    sinr=best_sinr[picked],
-                )
-            start = end
-        return results
+        norm_rounds = [
+            np.fromiter(dict.fromkeys(int(t) for t in r), dtype=np.int64)
+            for r in schedule
+        ]
+        indptr = np.zeros(len(norm_rounds) + 1, dtype=np.int64)
+        np.cumsum([len(r) for r in norm_rounds], out=indptr[1:])
+        members = (
+            np.concatenate(norm_rounds) if norm_rounds else np.empty(0, dtype=np.int64)
+        )
+        rx = self._normalize_listeners(listeners)
+        table = self.receptions_table(indptr, members, listeners=rx)
+        return table.split_rounds()
 
     def reception_matrix(self, transmitters: Sequence[int]) -> np.ndarray:
         """Boolean matrix ``M[i, j]``: listener ``j`` decodes ``transmitters[i]``.

@@ -1,0 +1,30 @@
+"""Shared uid -> dense-index translation used by both network flavours.
+
+:class:`~repro.sinr.network.WirelessNetwork` and
+:class:`~repro.sinr.metric.MetricNetwork` expose the same identifier surface
+(``indices_of`` and friends); the vectorized lookup-table variants live here
+so the range/validation logic exists exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def build_uid_lookup(uid_array: np.ndarray, id_space: int) -> np.ndarray:
+    """``(id_space + 1,)`` array mapping uid -> dense index (-1 if absent)."""
+    lookup = np.full(id_space + 1, -1, dtype=np.int64)
+    lookup[uid_array] = np.arange(len(uid_array), dtype=np.int64)
+    return lookup
+
+
+def translate_uids(uids: np.ndarray, lookup: np.ndarray, id_space: int) -> np.ndarray:
+    """Vectorized uid -> index translation; raises ``KeyError`` on unknown uids."""
+    uids = np.ascontiguousarray(uids, dtype=np.int64)
+    if uids.size and (uids.min() < 1 or uids.max() > id_space):
+        bad = uids[(uids < 1) | (uids > id_space)][0]
+        raise KeyError(int(bad))
+    indices = lookup[uids]
+    if uids.size and indices.min() < 0:
+        raise KeyError(int(uids[indices < 0][0]))
+    return indices

@@ -23,6 +23,7 @@ import networkx as nx
 import numpy as np
 
 from .backends.dense import DenseMatrixBackend
+from .identifiers import build_uid_lookup, translate_uids
 from .model import NUMERIC_TOLERANCE, SINRParameters
 from .node import Node
 
@@ -75,6 +76,7 @@ class MetricNetwork:
         ]
         self._uid_to_index: Dict[int, int] = {node.uid: node.index for node in self._nodes}
         self._uid_array = np.array(uids, dtype=int)
+        self._uid_lookup: Optional[np.ndarray] = None
         self._id_space = int(id_space)
         self._graph = self._build_communication_graph()
         if delta_bound is None:
@@ -147,6 +149,17 @@ class MetricNetwork:
         """Dense indices of the given identifiers, as an index array."""
         table = self._uid_to_index
         return np.fromiter((table[uid] for uid in uids), dtype=int)
+
+    @property
+    def uid_index_lookup(self) -> np.ndarray:
+        """``(id_space + 1,)`` array mapping uid -> dense index (-1 if absent)."""
+        if self._uid_lookup is None:
+            self._uid_lookup = build_uid_lookup(self._uid_array, self._id_space)
+        return self._uid_lookup
+
+    def indices_of_array(self, uids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`indices_of` for an integer uid array."""
+        return translate_uids(uids, self.uid_index_lookup, self._id_space)
 
     # ------------------------------------------------------------------ #
     # Metric / graph accessors.

@@ -27,6 +27,7 @@ from scipy.spatial import cKDTree
 
 from .backends import PhysicsBackend, make_backend
 from .geometry import graph_diameter_hops, unit_ball_density
+from .identifiers import build_uid_lookup, translate_uids
 from .model import NUMERIC_TOLERANCE, SINRParameters
 from .node import Node
 
@@ -95,6 +96,7 @@ class WirelessNetwork:
         self._uid_to_index: Dict[int, int] = {node.uid: node.index for node in self._nodes}
         self._uid_array = np.array(uids, dtype=int)
         self._id_space = int(id_space)
+        self._uid_lookup: Optional[np.ndarray] = None
         self._physics = make_backend(backend, positions, self._params)
         self._graph = self._build_communication_graph()
         if delta_bound is None:
@@ -168,8 +170,25 @@ class WirelessNetwork:
 
     def indices_of(self, uids: Iterable[int]) -> np.ndarray:
         """Dense indices of the given identifiers, as an index array."""
+        if isinstance(uids, np.ndarray) and uids.dtype.kind in "iu":
+            return self.indices_of_array(uids)
         table = self._uid_to_index
         return np.fromiter((table[uid] for uid in uids), dtype=int)
+
+    @property
+    def uid_index_lookup(self) -> np.ndarray:
+        """``(id_space + 1,)`` array mapping uid -> dense index (-1 if absent).
+
+        Built lazily once; the columnar schedule runners use it to translate
+        whole uid arrays in one vectorized gather.
+        """
+        if self._uid_lookup is None:
+            self._uid_lookup = build_uid_lookup(self._uid_array, self._id_space)
+        return self._uid_lookup
+
+    def indices_of_array(self, uids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`indices_of` for an integer uid array."""
+        return translate_uids(uids, self.uid_index_lookup, self._id_space)
 
     # ------------------------------------------------------------------ #
     # Geometry / analysis accessors (not available to protocols).

@@ -113,6 +113,42 @@ class TestRunRoundRobin:
         assert result.transmitted_rounds[3] == [1]
 
 
+class TestColumnarResultViews:
+    def test_receptions_view_matches_heard_by(self):
+        network = path_network(4)
+        sim = SINRSimulator(network)
+        result = run_schedule(sim, round_robin_schedule(network.id_space), network.uids)
+        view = result.receptions
+        for uid in network.uids:
+            assert view.get(uid, []) == result.heard_by(uid)
+        # Listeners that heard nothing are simply absent from the dict view.
+        assert all(events for events in view.values())
+
+    def test_messages_are_shared_per_sender(self):
+        network = path_network(3)
+        sim = SINRSimulator(network)
+        result = run_schedule(sim, round_robin_schedule(network.id_space), network.uids)
+        events = [e for uid in network.uids for e in result.heard_by(uid) if e.sender == 2]
+        assert len(events) >= 2
+        assert all(e.message is events[0].message for e in events)
+
+    def test_delivery_pairs_consistent_with_counters(self):
+        network = path_network(5)
+        sim = SINRSimulator(network)
+        result = run_schedule(sim, round_robin_schedule(network.id_space), network.uids)
+        senders, receivers = result.delivery_pairs()
+        assert len(senders) == len(receivers) == sim.messages_delivered
+
+    def test_transmitter_table_matches_transmitted_rounds(self):
+        network = path_network(4)
+        sim = SINRSimulator(network)
+        result = run_schedule(sim, round_robin_schedule(network.id_space), [2, 4])
+        tx_rounds, tx_uids = result.transmitter_table()
+        assert sorted(zip(tx_uids.tolist(), tx_rounds.tolist())) == sorted(
+            (uid, t) for uid, rounds in result.transmitted_rounds.items() for t in rounds
+        )
+
+
 class TestProtocolDriver:
     def test_simple_flood_protocol(self):
         network = path_network(4)
