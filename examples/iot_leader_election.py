@@ -1,4 +1,4 @@
-"""IoT coordinator election and network wake-up.
+"""IoT coordinator election and network wake-up, declaratively.
 
 A batch of identical IoT devices is powered on in a warehouse.  Nobody has
 coordinates, nobody can randomize (cheap devices, certified firmware), but a
@@ -10,6 +10,10 @@ The second half of the example exercises the wake-up primitive (Theorem 4):
 a few devices power on spontaneously at different times and the whole network
 must be activated.
 
+Both experiments are declared as :class:`repro.api.RunSpec` values over the
+same warehouse deployment, so the whole scenario is a pair of small JSON
+artifacts.
+
 Run it with::
 
     python examples/iot_leader_election.py
@@ -17,45 +21,44 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.core import AlgorithmConfig, elect_leader, solve_wakeup
-from repro.simulation import SINRSimulator
-from repro.sinr import deployment
+from repro import api
 
-
-def build_warehouse():
-    # A ring of device racks, one hop from rack to rack: connected by design.
-    return deployment.two_hop_clusters(clusters=5, nodes_per_cluster=6, seed=77)
+# A ring of device racks, one hop from rack to rack: connected by design.
+WAREHOUSE = api.DeploymentSpec("ring", {"nodes": 30, "clusters": 5}, seed=77)
 
 
 def main() -> None:
-    network = build_warehouse()
-    print("warehouse network:", network.describe())
-
-    config = AlgorithmConfig.fast()
-
     # --- leader election ----------------------------------------------------
-    sim = SINRSimulator(network)
-    election = elect_leader(sim, config=config)
-    print(f"\nleader elected: device {election.leader}")
-    print(f"candidate set after clustering: {sorted(election.candidates)}")
-    print(f"binary-search probes (range -> non-empty?):")
-    for lo, mid, bit in election.probes:
+    election = api.run(
+        api.RunSpec(WAREHOUSE, api.AlgorithmSpec("leader-election", preset="fast"))
+    )
+    print("warehouse network:", election.details["network"])
+    print(f"\nleader elected: device {election.details['leader']}")
+    print(f"candidate set after clustering: {election.details['candidates']}")
+    print("binary-search probes (range -> non-empty?):")
+    for lo, mid, bit in election.details["probes"]:
         print(f"  [{lo}, {mid}] -> {'yes' if bit else 'no'}")
-    print(f"total rounds: {election.rounds_used:,}")
+    print(f"total rounds: {election.rounds['total']:,}")
 
     # --- wake-up ------------------------------------------------------------
-    fresh_network = build_warehouse()
-    sim = SINRSimulator(fresh_network)
-    spontaneous = {
-        fresh_network.uids[0]: 0,    # first device powered on immediately
-        fresh_network.uids[7]: 40,   # two more come up later, on their own
-        fresh_network.uids[19]: 90,
-    }
-    wakeup = solve_wakeup(sim, spontaneous, config=config, period=64)
-    print(f"\nwake-up: all devices active = {wakeup.all_active(fresh_network)}")
-    print(f"execution started at the period boundary: round {wakeup.execution_start}")
+    # Spontaneous wake-ups are declared by node *index* (resolved against
+    # network.uids inside the registered algorithm), so the spec stays a
+    # pure-data artifact: first device at round 0, two more later.
+    wakeup = api.run(
+        api.RunSpec(
+            WAREHOUSE,
+            api.AlgorithmSpec(
+                "wakeup",
+                preset="fast",
+                params={"spontaneous": [[0, 0], [7, 40], [19, 90]], "period": 64},
+            ),
+        )
+    )
+    print(f"\nwake-up: all devices active = {wakeup.checks['all_active']}")
+    print(f"execution started at the period boundary: "
+          f"round {int(wakeup.metrics['execution_start'])}")
     print(f"activation latency (first spontaneous wake-up to last activation): "
-          f"{wakeup.latency():,} rounds")
+          f"{int(wakeup.metrics['latency']):,} rounds")
 
 
 if __name__ == "__main__":

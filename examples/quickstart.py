@@ -1,12 +1,15 @@
-"""Quickstart: cluster an ad hoc SINR network and run a local broadcast.
+"""Quickstart: declare a run, execute it, scale it to a seed ensemble.
 
-This example walks through the library's primary API in ~40 lines:
+This example walks through the library's primary API (:mod:`repro.api`):
 
-1. generate a deployment (nodes dropped uniformly in a square),
-2. wrap it in the synchronous SINR simulator,
-3. run the paper's deterministic clustering algorithm (Algorithm 6),
-4. run local broadcast on top of it (Algorithm 7),
-5. validate the results against the geometry.
+1. declare *what* to run -- a frozen, JSON-serializable ``RunSpec`` naming
+   a deployment family and an algorithm from the registries,
+2. execute it with ``run()`` and read the measured rounds/checks/metrics,
+3. re-execute the same spec across many placement seeds with
+   ``run_many()``, which fans out over a process pool and returns a
+   columnar ``RunSet``,
+4. export the ensemble as a JSON artifact anyone can re-run with
+   ``repro-sim run --spec``.
 
 Run it with::
 
@@ -15,38 +18,48 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.analysis import validate_clustering
-from repro.core import AlgorithmConfig, local_broadcast
-from repro.simulation import SINRSimulator
-from repro.sinr import deployment
+from repro import api
 
 
 def main() -> None:
-    # 1. A 60-node ad hoc network in a 3.5 x 3.5 area (transmission range = 1).
-    network = deployment.uniform_random(60, area_side=3.5, seed=7)
-    print("network:", network.describe())
+    # 1. Declare the experiment: a 60-node ad hoc network in a 3.5 x 3.5
+    #    area (transmission range = 1), running the paper's local broadcast
+    #    (Algorithm 7, which internally builds the 1-clustering and the
+    #    imperfect labeling) with the laptop-scale constants preset.
+    spec = api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 60, "area": 3.5}, seed=7),
+        algorithm=api.AlgorithmSpec("local-broadcast", preset="fast"),
+    )
+    print("spec:", spec.to_json(indent=None))
 
-    # 2. The synchronous round simulator evaluating Equation (1) each round.
-    sim = SINRSimulator(network)
+    # 2. One run: rounds are broken down per phase, checks are named
+    #    correctness verdicts, metrics are numeric observables.
+    result = api.run(spec)
+    print("\nnetwork:", result.details["network"])
+    print(f"clustering: {int(result.metrics['clusters'])} clusters "
+          f"in {result.rounds['clustering']:,} rounds")
+    print(f"labeling:   max label {int(result.metrics['max_label'])} "
+          f"in {result.rounds['labeling']:,} rounds")
+    print(f"broadcast:  {result.rounds['transmission']:,} rounds of transmissions")
+    print(f"total:      {result.rounds['total']:,} simulated rounds")
+    print(f"local broadcast completed: {result.checks['completed']}")
 
-    # 3 + 4. Local broadcast internally builds the 1-clustering, the imperfect
-    # labeling, and then runs one Sparse Network Schedule per label value.
-    config = AlgorithmConfig.fast()
-    result = local_broadcast(sim, config=config)
+    # 3. The same spec across eight placement seeds, in parallel.  The
+    #    algorithms are deterministic given the spec, so this is exactly
+    #    reproducible -- and bit-identical to running the seeds serially.
+    ensemble = api.run_many(spec, seeds=range(8))
+    rounds = ensemble.rounds()          # columnar: one entry per seed
+    print(f"\nensemble over seeds {list(ensemble.seeds)} "
+          f"(parallel={ensemble.executed_parallel}):")
+    print(f"rounds min/mean/max: {rounds.min():,} / {rounds.mean():,.0f} / {rounds.max():,}")
+    print(f"completed at every seed: {ensemble.all_checks_pass()}")
+    print()
+    print(ensemble.table().render())
 
-    print(f"clustering: {result.clustering.cluster_count()} clusters "
-          f"in {result.rounds_clustering:,} rounds")
-    print(f"labeling:   max label {result.labeling.max_label()} "
-          f"in {result.rounds_labeling:,} rounds")
-    print(f"broadcast:  {result.rounds_transmission:,} rounds of transmissions")
-    print(f"total:      {result.rounds_used:,} simulated rounds")
-
-    # 5. Validate the two clustering guarantees and the broadcast completion.
-    report = validate_clustering(network, result.clustering.cluster_of, max_radius=2.0)
-    print(f"cluster radius <= 2:          {report.valid_radius} (max {report.max_radius:.2f})")
-    print(f"O(1) clusters per unit ball:  {report.valid_overlap} "
-          f"(max {report.max_clusters_per_unit_ball})")
-    print(f"local broadcast completed:    {result.completed(network)}")
+    # 4. The ensemble (spec included) as a shareable JSON artifact.
+    artifact = ensemble.to_json()
+    print(f"\nJSON artifact: {len(artifact):,} bytes "
+          f"(re-run it with: repro-sim run --spec <file>)")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Sensor field clustering: the paper's motivating scenario.
+"""Sensor field clustering: the paper's motivating scenario, as a plugin.
 
 A large set of sensors is scattered over an area of interest (think of a
 rescue operation or environment monitoring, as in the paper's introduction):
@@ -7,8 +7,11 @@ no base stations, no GPS, no randomness -- only unique IDs and the SINR
 parameters.  The deterministic clustering algorithm organizes the field into
 geographically tight clusters that a data-collection layer can then use.
 
-The example also demonstrates the *structural* guarantees: each cluster fits
-in a small ball and no unit disc is crowded by many clusters, which is what
+The example registers the scenario as a *custom deployment* through
+:func:`repro.api.register_deployment` -- the same extension point
+third-party scenarios use -- then runs the clustering over a multi-seed
+ensemble and inspects the structural guarantees: each cluster fits in a
+small ball and no unit disc is crowded by many clusters, which is what
 makes per-cluster TDMA-style coordination possible afterwards.
 
 Run it with::
@@ -20,27 +23,44 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.analysis import cluster_members, cluster_radius, validate_clustering
-from repro.core import AlgorithmConfig, build_clustering, imperfect_labeling
-from repro.simulation import SINRSimulator
+from repro import api
+from repro.analysis import cluster_members, cluster_radius
 from repro.sinr import deployment
 
 
-def main() -> None:
-    # Six sensor hotspots of twelve sensors each, plus the empty space between
-    # them: ~72 sensors, density ~12, completely ad hoc.
-    network = deployment.gaussian_hotspots(
-        hotspots=6, nodes_per_hotspot=12, spread=0.2, separation=1.8, seed=2018
+@api.register_deployment("sensor-field")
+def sensor_field(seed: int, backend: str, pockets: int = 6, sensors_per_pocket: int = 12):
+    """Dense sensor pockets around points of interest, sparse in between."""
+    return deployment.gaussian_hotspots(
+        hotspots=pockets,
+        nodes_per_hotspot=sensors_per_pocket,
+        spread=0.2,
+        separation=1.8,
+        seed=seed,
+        backend=backend,
     )
-    print("sensor field:", network.describe())
 
-    sim = SINRSimulator(network)
-    config = AlgorithmConfig.fast()
 
-    clustering = build_clustering(sim, config=config)
-    print(f"\nclustering finished in {clustering.rounds_used:,} simulated rounds")
-    print(f"clusters formed: {clustering.cluster_count()}")
+def main() -> None:
+    # Six sensor pockets of twelve sensors each, plus the empty space between
+    # them: ~72 sensors, density ~12, completely ad hoc.  The custom kind is
+    # addressable by name like any built-in.
+    spec = api.RunSpec(
+        deployment=api.DeploymentSpec(
+            "sensor-field", {"pockets": 6, "sensors_per_pocket": 12}, seed=2018
+        ),
+        algorithm=api.AlgorithmSpec("cluster", preset="fast"),
+    )
 
+    result = api.run(spec)
+    print("sensor field:", result.details["network"])
+    print(f"\nclustering finished in {result.rounds['total']:,} simulated rounds")
+    print(f"clusters formed: {int(result.metrics['clusters'])}")
+
+    # The in-process result object is available as ``result.raw`` for
+    # structural deep-dives the scalar metrics don't cover.
+    clustering = result.raw
+    network = api.build_deployment(spec.deployment)
     sizes = Counter(clustering.cluster_of.values())
     largest = sizes.most_common(3)
     print("largest clusters (center id -> size):", {c: s for c, s in largest})
@@ -48,20 +68,18 @@ def main() -> None:
     groups = cluster_members(clustering.cluster_of)
     radii = {cluster: cluster_radius(network, members) for cluster, members in groups.items()}
     print(f"largest cluster radius: {max(radii.values()):.2f} (transmission range = 1)")
+    print(f"structural guarantees hold: {result.checks['valid_clustering']} "
+          f"(max radius {result.metrics['max_cluster_radius']:.2f}, "
+          f"max clusters per unit ball {int(result.metrics['max_clusters_per_unit_ball'])})")
 
-    report = validate_clustering(network, clustering.cluster_of, max_radius=2.0)
-    print(f"structural guarantees hold: radius={report.valid_radius}, overlap={report.valid_overlap}")
-
-    # With the clustering in place, imperfect labeling gives every sensor a
-    # slot index such that only O(1) sensors per cluster share a slot -- the
-    # building block for collision-limited data collection.
-    labeling = imperfect_labeling(
-        sim, network.uids, clustering.cluster_of, network.delta_bound, config
-    )
-    print(f"\nimperfect labeling: labels 1..{labeling.max_label()}, "
-          f"worst per-cluster multiplicity {labeling.multiplicity(clustering.cluster_of)}")
-    print(f"labeling cost: {labeling.rounds_used:,} rounds")
-    print(f"total simulated rounds so far: {sim.current_round:,}")
+    # The guarantees are not a one-seed accident: re-run the same spec over
+    # ten placement seeds, in parallel, and check every ensemble member.
+    ensemble = api.run_many(spec, seeds=range(10))
+    rounds = ensemble.rounds()
+    print(f"\nensemble over 10 placement seeds (parallel={ensemble.executed_parallel}):")
+    print(f"rounds min/mean/max: {rounds.min():,} / {rounds.mean():,.0f} / {rounds.max():,}")
+    print(f"clusters per seed: {[int(c) for c in ensemble.metric('clusters')]}")
+    print(f"valid clustering at every seed: {ensemble.all_checks_pass()}")
 
 
 if __name__ == "__main__":

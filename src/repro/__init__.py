@@ -15,8 +15,21 @@ The package is organised in layers:
 * :mod:`repro.lowerbound` -- the gadget networks and adversary of Theorem 6.
 * :mod:`repro.analysis` -- invariant validation, complexity fits and the
   report generators used by the benchmark harness.
+* :mod:`repro.api` -- the declarative front door: frozen JSON-serializable
+  run specs, string-keyed registries, and a parallel multi-seed executor.
 
-Quickstart::
+Quickstart (declarative)::
+
+    from repro import api
+
+    spec = api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 80, "area": 4.0}, seed=7),
+        algorithm=api.AlgorithmSpec("cluster", preset="fast"),
+    )
+    print(api.run(spec).rounds["total"])
+    print(api.run_many(spec, seeds=range(8)).all_checks_pass())
+
+Quickstart (direct simulator access)::
 
     from repro.sinr import deployment
     from repro.simulation import SINRSimulator
@@ -31,11 +44,13 @@ Quickstart::
 from .core import AlgorithmConfig, build_clustering, global_broadcast, local_broadcast
 from .simulation import SINRSimulator
 from .sinr import SINRParameters, WirelessNetwork
+from . import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmConfig",
+    "api",
     "SINRParameters",
     "SINRSimulator",
     "WirelessNetwork",

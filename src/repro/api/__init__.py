@@ -1,0 +1,81 @@
+"""Unified experiment API: declarative specs, registries, parallel execution.
+
+This package is the front door of the reproduction.  An experiment is a
+frozen, JSON-round-trippable :class:`RunSpec` (deployment + algorithm +
+config preset); names inside specs resolve through string-keyed registries
+(:data:`DEPLOYMENTS`, :data:`ALGORITHMS`, :data:`CONFIG_PRESETS`, plus the
+physics :data:`~repro.sinr.backends.BACKENDS`); execution goes through one
+executor with first-class multi-seed ensembles::
+
+    from repro import api
+
+    spec = api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 60, "area": 3.5}),
+        algorithm=api.AlgorithmSpec("local-broadcast", preset="fast"),
+    )
+    result = api.run(spec)                       # one seeded run
+    ensemble = api.run_many(spec, seeds=range(8))  # parallel across processes
+    print(ensemble.rounds().mean(), ensemble.all_checks_pass())
+    artifact = ensemble.to_json()                # shareable, re-runnable
+
+New scenarios plug in through the decorators -- no core code changes::
+
+    @api.register_deployment("perimeter")
+    def perimeter(seed, backend, nodes=32, radius=4.0):
+        ...return a WirelessNetwork...
+
+    @api.register_algorithm("my-protocol")
+    def my_protocol(sim, config, **params):
+        ...return an api.AlgorithmOutcome(...)...
+
+The CLI (:mod:`repro.cli`) and the sweep runners
+(:mod:`repro.experiments.sweeps`) are thin layers over this package.
+"""
+
+from .executor import (
+    AlgorithmOutcome,
+    RunResult,
+    RunSet,
+    build_deployment,
+    run,
+    run_grid,
+    run_many,
+)
+from .registry import (
+    ALGORITHMS,
+    BACKENDS,
+    CONFIG_PRESETS,
+    DEPLOYMENTS,
+    AlgorithmEntry,
+    Registry,
+    register_algorithm,
+    register_deployment,
+    register_preset,
+)
+from .specs import AlgorithmSpec, DeploymentSpec, RunSpec
+
+# Populate the registries with the paper's deployments, algorithms and
+# baselines (import side effect, must come after the registry imports).
+from . import catalog as _catalog  # noqa: E402,F401
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmEntry",
+    "AlgorithmOutcome",
+    "AlgorithmSpec",
+    "BACKENDS",
+    "CONFIG_PRESETS",
+    "DEPLOYMENTS",
+    "DeploymentSpec",
+    "Registry",
+    "RunResult",
+    "RunSet",
+    "RunSpec",
+    "build_deployment",
+    "register_algorithm",
+    "register_deployment",
+    "register_preset",
+    "run",
+    "run_grid",
+    "run_many",
+]

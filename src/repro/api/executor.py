@@ -1,0 +1,434 @@
+"""Spec execution: ``run`` one spec, ``run_many`` a seed ensemble, in parallel.
+
+The executor is the single code path from a declarative :class:`RunSpec` to
+measured results:
+
+* :func:`run` -- build the deployment (through the registries), wrap it in a
+  :class:`~repro.simulation.engine.SINRSimulator`, call the registered
+  algorithm runner and return a :class:`RunResult`;
+* :func:`run_grid` -- execute any list of specs, fanning out across a
+  ``ProcessPoolExecutor`` (``parallel=False`` opts out; the default probes
+  for multiprocessing support and falls back to serial execution);
+* :func:`run_many` -- the multi-seed ensemble primitive: one base spec
+  re-seeded across ``seeds``, executed via :func:`run_grid`, collected into
+  a columnar :class:`RunSet`.
+
+Every algorithm in the registry is deterministic given its spec (the
+paper's constructions are seeded), so parallel execution is bit-identical
+to serial execution -- ``tests/test_api.py`` property-tests exactly that by
+comparing :meth:`RunResult.payload` dictionaries.  Workers therefore return
+only the JSON payload (specs travel as dictionaries, results come back as
+dictionaries), which keeps the pool protocol trivially picklable; the
+in-memory algorithm result object is available as ``RunResult.raw`` on
+serial paths only.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.reporting import ExperimentTable
+from ..simulation import SINRSimulator
+from .registry import ALGORITHMS, DEPLOYMENTS
+from .specs import RunSpec
+
+__all__ = [
+    "AlgorithmOutcome",
+    "RunResult",
+    "RunSet",
+    "build_deployment",
+    "run",
+    "run_grid",
+    "run_many",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmOutcome:
+    """What a registered algorithm runner hands back to the executor.
+
+    ``rounds`` must contain a ``"total"`` entry (plus any per-phase
+    breakdown); ``checks`` are named correctness verdicts; ``metrics`` are
+    numeric observables; ``details`` are JSON-representable extras (probe
+    lists, per-phase tables, ...) used by the CLI reports; ``raw`` is the
+    underlying result object for in-process callers.
+    """
+
+    rounds: Dict[str, int] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
+    raw: Any = None
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One executed spec: the spec itself plus everything measured.
+
+    ``elapsed`` is wall-clock seconds and is deliberately excluded from
+    :meth:`payload`, the deterministic portion that serial and parallel
+    execution must agree on bit for bit.
+    """
+
+    spec: RunSpec
+    rounds: Dict[str, int]
+    checks: Dict[str, bool]
+    metrics: Dict[str, float]
+    details: Dict[str, Any]
+    elapsed: float
+    raw: Any = None
+
+    @property
+    def seed(self) -> int:
+        """The placement seed this result was measured at."""
+        return self.spec.seed
+
+    def all_checks_pass(self) -> bool:
+        """Whether every recorded check passed (``True`` when none were recorded)."""
+        return all(self.checks.values())
+
+    def payload(self) -> Dict[str, Any]:
+        """The deterministic result payload (everything except timing/raw)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "rounds": dict(self.rounds),
+            "checks": dict(self.checks),
+            "metrics": dict(self.metrics),
+            "details": _plain(self.details),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-representable form: the payload plus the elapsed time."""
+        data = self.payload()
+        data["elapsed"] = self.elapsed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result (without ``raw``) from :meth:`to_dict` output."""
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            rounds=dict(data.get("rounds") or {}),
+            checks=dict(data.get("checks") or {}),
+            metrics=dict(data.get("metrics") or {}),
+            details=dict(data.get("details") or {}),
+            elapsed=float(data.get("elapsed", 0.0)),
+        )
+
+
+def _plain(value: Any) -> Any:
+    """Coerce containers/NumPy scalars to plain JSON types (deep)."""
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class RunSet:
+    """A columnar multi-seed ensemble: per-seed rounds, checks and timings.
+
+    Results are stored in seed order; the accessors return NumPy arrays so
+    ensembles plug straight into analysis code, and :meth:`table` renders an
+    :class:`~repro.analysis.reporting.ExperimentTable` for the reporting
+    layer.
+    """
+
+    def __init__(self, spec: RunSpec, results: Sequence[RunResult], parallel: bool = False) -> None:
+        self.spec = spec
+        self.results: Tuple[RunResult, ...] = tuple(results)
+        #: Whether the ensemble actually executed on a process pool.
+        self.executed_parallel = bool(parallel)
+
+    # ------------------------------------------------------------------ #
+    # Columnar accessors.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def seeds(self) -> np.ndarray:
+        """Placement seeds, one per result, in execution order."""
+        return np.array([result.seed for result in self.results], dtype=np.int64)
+
+    def rounds(self, key: str = "total") -> np.ndarray:
+        """Per-seed round counts for one rounds entry (default ``"total"``)."""
+        self._require(key, "rounds")
+        return np.array([result.rounds[key] for result in self.results], dtype=np.int64)
+
+    def check(self, key: str) -> np.ndarray:
+        """Per-seed boolean outcomes of one named check."""
+        self._require(key, "checks")
+        return np.array([result.checks[key] for result in self.results], dtype=bool)
+
+    def metric(self, key: str) -> np.ndarray:
+        """Per-seed values of one named metric."""
+        self._require(key, "metrics")
+        return np.array([result.metrics[key] for result in self.results], dtype=float)
+
+    @property
+    def elapsed(self) -> np.ndarray:
+        """Per-seed wall-clock execution times in seconds."""
+        return np.array([result.elapsed for result in self.results], dtype=float)
+
+    def _require(self, key: str, column: str) -> None:
+        available = sorted({name for result in self.results for name in getattr(result, column)})
+        if key not in available:
+            raise KeyError(
+                f"no {column} entry named {key!r} in this RunSet; "
+                f"available: {', '.join(available) or '(none)'}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Aggregates and export.
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def all_checks_pass(self) -> bool:
+        """Whether every check of every seed passed."""
+        return all(result.all_checks_pass() for result in self.results)
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate statistics: per-rounds-key min/mean/max plus check status."""
+        keys = sorted({name for result in self.results for name in result.rounds})
+        rounds = {}
+        for key in keys:
+            values = self.rounds(key)
+            rounds[key] = {
+                "min": int(values.min()),
+                "mean": float(values.mean()),
+                "max": int(values.max()),
+            }
+        return {
+            "algorithm": self.spec.algorithm.name,
+            "deployment": self.spec.deployment.kind,
+            "seeds": [int(seed) for seed in self.seeds],
+            "rounds": rounds,
+            "all_checks_pass": self.all_checks_pass(),
+            "elapsed_total": float(self.elapsed.sum()),
+            "executed_parallel": self.executed_parallel,
+        }
+
+    def table(self, title: Optional[str] = None) -> ExperimentTable:
+        """Per-seed report table for :mod:`repro.analysis.reporting`."""
+        check_keys = sorted({name for result in self.results for name in result.checks})
+        table = ExperimentTable(
+            title=title
+            or f"{self.spec.algorithm.name} on {self.spec.deployment.kind} x {len(self)} seeds",
+            columns=["seed", "rounds", "checks ok", "time [ms]"],
+        )
+        for result in self.results:
+            table.add_row(
+                self.spec.algorithm.name,
+                seed=result.seed,
+                rounds=result.rounds.get("total", 0),
+                **{
+                    "checks ok": "yes" if result.all_checks_pass() else "NO",
+                    "time [ms]": result.elapsed * 1000.0,
+                },
+            )
+        if check_keys:
+            table.add_note(f"checks: {', '.join(check_keys)}")
+        return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-representable form: base spec, per-seed results, summary."""
+        return {
+            "spec": self.spec.to_dict(),
+            "results": [result.to_dict() for result in self.results],
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the whole ensemble as a JSON artifact."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunSet({self.spec.algorithm.name!r} on {self.spec.deployment.kind!r}, "
+            f"{len(self)} seeds, all_checks_pass={self.all_checks_pass()})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Execution.
+# ---------------------------------------------------------------------- #
+
+
+def build_deployment(spec) -> Any:
+    """Materialize a :class:`DeploymentSpec` into a ``WirelessNetwork``."""
+    builder = DEPLOYMENTS.get(spec.kind)
+    return builder(seed=spec.seed, backend=spec.backend, **spec.param_dict())
+
+
+def run(spec: RunSpec, keep_raw: bool = True) -> RunResult:
+    """Execute one spec in-process and return its :class:`RunResult`.
+
+    ``keep_raw=False`` drops the in-memory algorithm result object, which is
+    what the parallel path does implicitly (raw objects never cross process
+    boundaries).
+    """
+    entry = ALGORITHMS.get(spec.algorithm.name)
+    config = spec.algorithm.build_config()
+    params = spec.algorithm.param_dict()
+    started = time.perf_counter()
+    if entry.standalone:
+        outcome = entry.fn(config=config, **params)
+    else:
+        network = build_deployment(spec.deployment)
+        sim = SINRSimulator(network)
+        outcome = entry.fn(sim, config=config, **params)
+        outcome.metrics.setdefault("n", float(network.size))
+        outcome.metrics.setdefault("delta_bound", float(network.delta_bound))
+        outcome.metrics.setdefault("id_space", float(network.id_space))
+        outcome.details.setdefault("network", network.describe())
+    elapsed = time.perf_counter() - started
+    if "total" not in outcome.rounds:
+        raise ValueError(
+            f"algorithm {spec.algorithm.name!r} returned no 'total' rounds entry"
+        )
+    return RunResult(
+        spec=spec,
+        rounds=dict(outcome.rounds),
+        checks=dict(outcome.checks),
+        metrics={key: float(value) for key, value in outcome.metrics.items()},
+        details=_plain(outcome.details),
+        elapsed=elapsed,
+        raw=outcome.raw if keep_raw else None,
+    )
+
+
+def _run_payload(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: spec dictionary in, result dictionary out."""
+    result = run(RunSpec.from_dict(spec_dict), keep_raw=False)
+    return result.to_dict()
+
+
+def _default_workers(jobs: int) -> int:
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
+def _pool_context():
+    """The multiprocessing context used for the fan-out.
+
+    Prefers ``fork`` where it is the platform's safe default (Linux): forked
+    workers inherit the parent's registries, so deployments/algorithms
+    registered at runtime (plugins, ``__main__`` scripts) stay resolvable.
+    Elsewhere (``spawn`` platforms) the default context is used and workers
+    re-import :mod:`repro.api` fresh, which only recreates the built-ins.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and multiprocessing.get_start_method(allow_none=True) in (None, "fork"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _workers_can_resolve(specs: Sequence[RunSpec], context) -> bool:
+    """Whether pool workers will be able to look up every spec's names.
+
+    Forked workers inherit the live registries, so anything resolvable here
+    is resolvable there.  Spawned workers only see the built-in catalog:
+    specs naming runtime-registered entries must stay in-process.
+    """
+    if context.get_start_method() == "fork":
+        return True
+    # Deferred import: catalog imports this module for AlgorithmOutcome.
+    from .catalog import BUILTIN_ALGORITHMS, BUILTIN_DEPLOYMENTS
+
+    return all(
+        (spec.algorithm.name in BUILTIN_ALGORITHMS)
+        and (
+            ALGORITHMS.get(spec.algorithm.name).standalone
+            or spec.deployment.kind in BUILTIN_DEPLOYMENTS
+        )
+        for spec in specs
+    )
+
+
+def run_grid(
+    specs: Sequence[RunSpec],
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    keep_raw: bool = False,
+) -> List[RunResult]:
+    """Execute a list of specs, in spec order, optionally on a process pool.
+
+    ``parallel=None`` (the default) uses a pool when there is more than one
+    spec and multiprocessing is available, silently falling back to serial
+    execution where process creation is forbidden (sandboxes, some CI
+    runners).  ``parallel=True`` forces the pool (errors propagate);
+    ``parallel=False`` forces serial execution.  Results are identical
+    either way -- only ``RunResult.elapsed`` and ``RunResult.raw`` (dropped
+    by the pool, retained serially when ``keep_raw``) differ.
+    """
+    results, _ = _run_grid(specs, parallel=parallel, max_workers=max_workers, keep_raw=keep_raw)
+    return results
+
+
+def _run_grid(
+    specs: Sequence[RunSpec],
+    parallel: Optional[bool],
+    max_workers: Optional[int],
+    keep_raw: bool,
+) -> Tuple[List[RunResult], bool]:
+    """:func:`run_grid` plus a flag for whether the pool was actually used."""
+    specs = list(specs)
+    if not specs:
+        return [], False
+    want_parallel = parallel if parallel is not None else len(specs) > 1
+    if want_parallel:
+        context = _pool_context()
+        if parallel is None and not _workers_can_resolve(specs, context):
+            # Spawned workers would fail the registry lookup for runtime-
+            # registered entries; stay in-process rather than crash.
+            want_parallel = False
+    if want_parallel:
+        payloads = [spec.to_dict() for spec in specs]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers or _default_workers(len(specs)), mp_context=context
+            ) as pool:
+                dicts = list(pool.map(_run_payload, payloads))
+            return [RunResult.from_dict(data) for data in dicts], True
+        except (OSError, PermissionError, BrokenExecutor):
+            # Sandboxes and locked-down CI runners forbid or kill worker
+            # processes in several shapes: process creation fails (OSError /
+            # PermissionError), or workers die at spawn/exec time and the
+            # pool surfaces BrokenExecutor.
+            if parallel:  # explicitly requested -- surface the failure
+                raise
+    return [run(spec, keep_raw=keep_raw) for spec in specs], False
+
+
+def run_many(
+    spec: RunSpec,
+    seeds: Sequence[int],
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> RunSet:
+    """Execute ``spec`` once per seed and collect a columnar :class:`RunSet`.
+
+    This is the reproducible-ensemble primitive: the paper's algorithms are
+    seeded-randomized constructions, so "the result" of a scenario is
+    naturally a distribution over placement seeds.  Seeds are executed in
+    the order given, duplicates included.
+    """
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        raise ValueError("run_many needs at least one seed")
+    grid = [spec.with_seed(seed) for seed in seeds]
+    results, used_pool = _run_grid(grid, parallel=parallel, max_workers=max_workers, keep_raw=False)
+    return RunSet(spec=spec, results=results, parallel=used_pool)

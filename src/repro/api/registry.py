@@ -1,0 +1,178 @@
+"""String-keyed registries: the lookup tables behind declarative specs.
+
+Three registries map the names that appear in specs to executable objects:
+
+* :data:`DEPLOYMENTS` -- deployment builders ``(seed, backend, **params) ->
+  WirelessNetwork``, populated by :func:`register_deployment`;
+* :data:`ALGORITHMS` -- algorithm runners wrapped in
+  :class:`AlgorithmEntry`, populated by :func:`register_algorithm`;
+* :data:`CONFIG_PRESETS` -- zero-argument :class:`AlgorithmConfig`
+  factories, populated by :func:`register_preset`.
+
+Physics backends already have a registry
+(:data:`repro.sinr.backends.BACKENDS`); it is re-exported here so the API
+layer presents all four extension points uniformly.  Registering is how new
+scenarios plug in without touching core code::
+
+    from repro.api import register_deployment
+
+    @register_deployment("perimeter")
+    def perimeter(seed, backend, nodes=32, radius=4.0):
+        ...build and return a WirelessNetwork...
+
+The built-in entries are registered by :mod:`repro.api.catalog`, imported
+from ``repro.api.__init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..core.config import AlgorithmConfig
+from ..sinr.backends import BACKENDS
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmEntry",
+    "BACKENDS",
+    "CONFIG_PRESETS",
+    "DEPLOYMENTS",
+    "Registry",
+    "register_algorithm",
+    "register_deployment",
+    "register_preset",
+]
+
+
+class Registry:
+    """A named string -> object table with decorator registration.
+
+    Lookups raise :class:`KeyError` messages that name the registry and list
+    what *is* available, so a typo in a spec or on the command line fails
+    with an actionable error instead of a bare traceback.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+
+    def register(self, name: str, value: Any = None, *, overwrite: bool = False):
+        """Register ``value`` under ``name``; usable as a decorator.
+
+        ``register(name)`` returns a decorator; ``register(name, value)``
+        registers eagerly and returns ``value``.  Re-registering an existing
+        name requires ``overwrite=True`` (guards against accidental
+        collisions between plugins).
+        """
+
+        def _store(entry: Any) -> Any:
+            if not overwrite and name in self._entries:
+                raise ValueError(
+                    f"{self.kind} registry already has an entry named {name!r}; "
+                    f"pass overwrite=True to replace it"
+                )
+            self._entries[name] = entry
+            return entry
+
+        if value is None:
+            return _store
+        return _store(value)
+
+    def get(self, name: str) -> Any:
+        """Look up ``name``, failing with the list of registered names."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered: {', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted registered names (the valid spec / CLI values)."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """One registered algorithm.
+
+    ``fn`` maps ``(sim, config, **params)`` to an
+    :class:`~repro.api.executor.AlgorithmOutcome` -- or ``(config,
+    **params)`` when ``standalone`` is true, for algorithms that build their
+    own network (the lower-bound gadget) and ignore the deployment spec.
+    ``description`` feeds ``repro-sim list``.
+    """
+
+    fn: Callable[..., Any]
+    standalone: bool = False
+    description: str = ""
+
+
+#: Deployment builders keyed by ``DeploymentSpec.kind``.
+DEPLOYMENTS = Registry("deployment")
+
+#: Algorithm entries keyed by ``AlgorithmSpec.name``.
+ALGORITHMS = Registry("algorithm")
+
+#: ``AlgorithmConfig`` factories keyed by ``AlgorithmSpec.preset``.
+CONFIG_PRESETS = Registry("config preset")
+
+
+def register_deployment(name: str, *, overwrite: bool = False):
+    """Decorator: register a deployment builder under ``name``.
+
+    The builder is called as ``fn(seed=..., backend=..., **params)`` and
+    must return a :class:`~repro.sinr.network.WirelessNetwork`.
+    """
+    return DEPLOYMENTS.register(name, overwrite=overwrite)
+
+
+def register_algorithm(
+    name: str,
+    *,
+    standalone: bool = False,
+    description: str = "",
+    overwrite: bool = False,
+):
+    """Decorator: register an algorithm runner under ``name``.
+
+    The runner is called as ``fn(sim, config, **params)`` (or ``fn(config,
+    **params)`` when ``standalone``) and must return an
+    :class:`~repro.api.executor.AlgorithmOutcome`.
+    """
+
+    def _decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        doc = (fn.__doc__ or "").strip()
+        summary = description or (doc.splitlines()[0] if doc else "")
+        ALGORITHMS.register(
+            name,
+            AlgorithmEntry(fn=fn, standalone=standalone, description=summary),
+            overwrite=overwrite,
+        )
+        return fn
+
+    return _decorator
+
+
+def register_preset(name: str, factory: Optional[Callable[[], AlgorithmConfig]] = None, *, overwrite: bool = False):
+    """Register a zero-argument ``AlgorithmConfig`` factory under ``name``."""
+    return CONFIG_PRESETS.register(name, factory, overwrite=overwrite)
+
+
+# The built-in presets mirror the AlgorithmConfig classmethods.
+register_preset("default", AlgorithmConfig)
+register_preset("fast", AlgorithmConfig.fast)
+register_preset("faithful", AlgorithmConfig.faithful)

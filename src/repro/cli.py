@@ -1,185 +1,254 @@
 """Command-line interface: run the paper's algorithms from a shell.
 
-The CLI builds a deployment, runs one of the algorithms on the SINR
-simulator and prints a short report.  It exists so that the reproduction can
-be exercised without writing Python, e.g.::
+Every subcommand is a thin builder of a declarative
+:class:`repro.api.RunSpec`: flags are translated into a spec, the spec is
+executed by :func:`repro.api.run` (or :func:`repro.api.run_many` for
+multi-seed ensembles) and the result is printed as a short report, e.g.::
 
     repro-sim cluster --deployment hotspots --nodes 48 --seed 7
-    repro-sim local-broadcast --deployment uniform --nodes 40
+    repro-sim local-broadcast --deployment uniform --nodes 40 --seeds 0,1,2,3
     repro-sim global-broadcast --deployment strip --hops 6
     repro-sim leader-election --deployment ring --nodes 30
     repro-sim cluster --deployment uniform --nodes 2000 --area 12 --backend lazy
     repro-sim gadget --delta 12
+    repro-sim list
+    repro-sim run --spec myrun.json --seeds 0,1,2,3
 
-(or ``python -m repro.cli ...``).  Every command accepts ``--seed`` and the
-``--preset`` of algorithm constants (``fast`` or ``default``); deployments
-map onto the generators of :mod:`repro.sinr.deployment`.
+(or ``python -m repro.cli ...``).  Valid ``--deployment``, ``--preset`` and
+``--backend`` values come straight from the :mod:`repro.api` registries
+(``repro-sim list`` prints them), so a plugin that registers a new scenario
+is immediately drivable from the shell.  ``--dump-spec`` prints the spec a
+command would run as JSON instead of executing it; ``repro-sim run``
+executes such a JSON artifact.  All deployment/algorithm dispatch lives in
+:mod:`repro.api` -- this module only translates flags.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from .analysis import validate_clustering
-from .core import (
-    AlgorithmConfig,
-    build_clustering,
-    elect_leader,
-    global_broadcast,
-    local_broadcast,
-)
-from .lowerbound import (
-    build_gadget,
-    check_blocking_property,
-    check_target_property,
-    lower_bound_parameters,
-    measure_gadget_delivery,
-    round_robin_algorithm,
-)
-from .simulation import SINRSimulator
-from .sinr import deployment
-from .sinr.backends import BACKENDS
+from . import api
+from .api import AlgorithmSpec, DeploymentSpec, RunSpec
+from .core import AlgorithmConfig
 
 
 def _config_for(preset: str) -> AlgorithmConfig:
-    if preset == "fast":
-        return AlgorithmConfig.fast()
-    if preset == "default":
-        return AlgorithmConfig()
-    raise ValueError(f"unknown preset {preset!r}")
+    """Deprecated shim: resolve a preset name via ``api.CONFIG_PRESETS``."""
+    try:
+        return api.CONFIG_PRESETS.get(preset)()
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
 
 
-def _build_network(args: argparse.Namespace):
-    kind = args.deployment
-    backend = getattr(args, "backend", "dense")
-    if kind == "uniform":
-        return deployment.uniform_random(
-            args.nodes, area_side=args.area, seed=args.seed, backend=backend
-        )
-    if kind == "hotspots":
-        per_spot = max(1, args.nodes // max(1, args.hotspots))
-        return deployment.gaussian_hotspots(
-            args.hotspots, per_spot, spread=0.18, separation=1.6, seed=args.seed, backend=backend
-        )
-    if kind == "strip":
-        return deployment.connected_strip(
-            hops=args.hops, nodes_per_hop=args.nodes_per_hop, seed=args.seed, backend=backend
-        )
-    if kind == "line":
-        return deployment.line(args.nodes, seed=args.seed, backend=backend)
-    if kind == "ring":
-        per_cluster = max(1, args.nodes // max(1, args.clusters))
-        return deployment.two_hop_clusters(
-            args.clusters, per_cluster, seed=args.seed, backend=backend
-        )
-    raise ValueError(f"unknown deployment {kind!r}")
+#: Flag -> builder-parameter translation per deployment kind.  This is pure
+#: argparse plumbing; the builders themselves live in the DEPLOYMENTS registry.
+_DEPLOYMENT_FLAGS = {
+    "uniform": lambda args: {"nodes": args.nodes, "area": args.area},
+    "hotspots": lambda args: {"nodes": args.nodes, "hotspots": args.hotspots},
+    "strip": lambda args: {"hops": args.hops, "nodes_per_hop": args.nodes_per_hop},
+    "line": lambda args: {"nodes": args.nodes},
+    "ring": lambda args: {"nodes": args.nodes, "clusters": args.clusters},
+    "grid": lambda args: {"rows": args.rows, "cols": args.cols},
+    "ball": lambda args: {"nodes": args.nodes},
+}
+
+
+def _deployment_spec(args: argparse.Namespace) -> DeploymentSpec:
+    params = _DEPLOYMENT_FLAGS[args.deployment](args)
+    return DeploymentSpec(args.deployment, params, seed=args.seed, backend=args.backend)
+
+
+def _run_spec(args: argparse.Namespace, algorithm: str, params: Optional[Dict[str, Any]] = None) -> RunSpec:
+    return RunSpec(
+        deployment=_deployment_spec(args),
+        algorithm=AlgorithmSpec(algorithm, preset=args.preset, params=params),
+    )
 
 
 def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deployment",
-        choices=["uniform", "hotspots", "strip", "line", "ring"],
+        choices=sorted(_DEPLOYMENT_FLAGS),
         default="uniform",
-        help="deployment generator to use",
+        help="deployment generator to use (see 'repro-sim list')",
     )
-    parser.add_argument("--nodes", type=int, default=40, help="number of nodes (uniform/hotspots/line/ring)")
+    parser.add_argument("--nodes", type=int, default=40, help="number of nodes (uniform/hotspots/line/ring/ball)")
     parser.add_argument("--area", type=float, default=3.0, help="side of the square area (uniform)")
     parser.add_argument("--hotspots", type=int, default=4, help="number of hotspots (hotspots)")
     parser.add_argument("--hops", type=int, default=5, help="number of hops (strip)")
     parser.add_argument("--nodes-per-hop", type=int, default=4, help="nodes per hop (strip)")
     parser.add_argument("--clusters", type=int, default=5, help="number of clusters (ring)")
+    parser.add_argument("--rows", type=int, default=6, help="grid rows (grid)")
+    parser.add_argument("--cols", type=int, default=6, help="grid columns (grid)")
     parser.add_argument("--seed", type=int, default=0, help="deployment seed")
     parser.add_argument(
-        "--preset", choices=["fast", "default"], default="fast", help="algorithm constants preset"
+        "--preset",
+        choices=api.CONFIG_PRESETS.names(),
+        default="fast",
+        help="algorithm constants preset",
     )
     parser.add_argument(
         "--backend",
-        choices=sorted(BACKENDS),
+        choices=sorted(api.BACKENDS),
         default="dense",
         help="physics backend: dense (O(n^2) gain matrix) or lazy (O(n) memory)",
     )
+    parser.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the RunSpec JSON this command would execute, and exit",
+    )
+
+
+def _maybe_dump(args: argparse.Namespace, spec: RunSpec) -> bool:
+    if getattr(args, "dump_spec", False):
+        print(spec.to_json())
+        return True
+    return False
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    network = _build_network(args)
-    sim = SINRSimulator(network)
-    config = _config_for(args.preset)
-    print(network.describe())
-    result = build_clustering(sim, config=config)
-    report = validate_clustering(network, result.cluster_of, max_radius=2.0)
-    print(f"clusters: {result.cluster_count()}")
-    print(f"rounds: {result.rounds_used}")
-    print(f"max cluster radius: {report.max_radius:.2f}")
-    print(f"max clusters per unit ball: {report.max_clusters_per_unit_ball}")
-    print(f"valid clustering: {report.valid}")
-    return 0 if report.valid else 1
+    spec = _run_spec(args, "cluster")
+    if _maybe_dump(args, spec):
+        return 0
+    result = api.run(spec)
+    print(result.details["network"])
+    print(f"clusters: {int(result.metrics['clusters'])}")
+    print(f"rounds: {result.rounds['total']}")
+    print(f"max cluster radius: {result.metrics['max_cluster_radius']:.2f}")
+    print(f"max clusters per unit ball: {int(result.metrics['max_clusters_per_unit_ball'])}")
+    print(f"valid clustering: {result.checks['valid_clustering']}")
+    return 0 if result.checks["valid_clustering"] else 1
 
 
 def _cmd_local_broadcast(args: argparse.Namespace) -> int:
-    network = _build_network(args)
-    sim = SINRSimulator(network)
-    config = _config_for(args.preset)
-    print(network.describe())
-    result = local_broadcast(sim, config=config)
-    completed = result.completed(network)
-    print(f"rounds: {result.rounds_used}")
-    print(f"  clustering:   {result.rounds_clustering}")
-    print(f"  labeling:     {result.rounds_labeling}")
-    print(f"  transmission: {result.rounds_transmission}")
-    print(f"completed: {completed}")
-    return 0 if completed else 1
+    spec = _run_spec(args, "local-broadcast")
+    if _maybe_dump(args, spec):
+        return 0
+    result = api.run(spec)
+    print(result.details["network"])
+    print(f"rounds: {result.rounds['total']}")
+    print(f"  clustering:   {result.rounds['clustering']}")
+    print(f"  labeling:     {result.rounds['labeling']}")
+    print(f"  transmission: {result.rounds['transmission']}")
+    print(f"completed: {result.checks['completed']}")
+    return 0 if result.checks["completed"] else 1
 
 
 def _cmd_global_broadcast(args: argparse.Namespace) -> int:
-    network = _build_network(args)
-    sim = SINRSimulator(network)
-    config = _config_for(args.preset)
-    source = args.source if args.source is not None else network.uids[0]
-    print(network.describe())
-    result = global_broadcast(sim, source=source, config=config)
-    reached = result.reached_all(network)
-    print(f"source: {source}")
-    print(f"phases: {len(result.phases)}")
-    print(f"rounds: {result.rounds_used}")
-    print(f"reached all nodes: {reached}")
-    for phase in result.phases:
+    params: Dict[str, Any] = {}
+    if args.source is not None:
+        params["source"] = args.source
+    spec = _run_spec(args, "global-broadcast", params)
+    if _maybe_dump(args, spec):
+        return 0
+    result = api.run(spec)
+    print(result.details["network"])
+    print(f"source: {result.details['source']}")
+    print(f"phases: {int(result.metrics['phases'])}")
+    print(f"rounds: {result.rounds['total']}")
+    print(f"reached all nodes: {result.checks['reached_all']}")
+    for phase in result.details["phases"]:
         print(
-            f"  phase {phase.index}: broadcasters={phase.broadcasters} "
-            f"newly_awakened={phase.newly_awakened} rounds={phase.rounds_used}"
+            f"  phase {phase['index']}: broadcasters={phase['broadcasters']} "
+            f"newly_awakened={phase['newly_awakened']} rounds={phase['rounds_used']}"
         )
-    return 0 if reached else 1
+    return 0 if result.checks["reached_all"] else 1
 
 
 def _cmd_leader_election(args: argparse.Namespace) -> int:
-    network = _build_network(args)
-    sim = SINRSimulator(network)
-    config = _config_for(args.preset)
-    print(network.describe())
-    result = elect_leader(sim, config=config)
-    print(f"leader: {result.leader}")
-    print(f"candidates: {sorted(result.candidates)}")
-    print(f"probes: {result.probe_count()}")
-    print(f"rounds: {result.rounds_used}")
+    spec = _run_spec(args, "leader-election")
+    if _maybe_dump(args, spec):
+        return 0
+    result = api.run(spec)
+    print(result.details["network"])
+    print(f"leader: {result.details['leader']}")
+    print(f"candidates: {result.details['candidates']}")
+    print(f"probes: {int(result.metrics['probes'])}")
+    print(f"rounds: {result.rounds['total']}")
     return 0
 
 
 def _cmd_gadget(args: argparse.Namespace) -> int:
-    params = lower_bound_parameters()
-    network, layout = build_gadget(args.delta, params)
-    fact1 = check_blocking_property(layout, network)
-    fact2 = check_target_property(layout, network)
-    algorithm = round_robin_algorithm(4 * (args.delta + 4))
-    delivery = measure_gadget_delivery(
-        algorithm, delta=args.delta, params=params, id_pool=list(range(2, 4 * (args.delta + 4)))
+    spec = RunSpec(
+        deployment=DeploymentSpec("none"),
+        algorithm=AlgorithmSpec("gadget", preset=args.preset, params={"delta": args.delta}),
     )
-    print(f"gadget with Delta={args.delta}: {layout.size} nodes, core span {layout.core_span():.3f}")
-    print(f"fact 2.1 (two transmitters silence the right tail): {fact1}")
-    print(f"fact 2.2 (target hears only a solo v_Delta+1): {fact2}")
-    print(f"adversarial delivery round (round-robin strategy): {delivery.delivery_round}")
-    print(f"Omega(Delta) bound satisfied: {delivery.delivery_round is None or delivery.delivery_round >= args.delta}")
-    return 0 if fact1 and fact2 else 1
+    if _maybe_dump(args, spec):
+        return 0
+    result = api.run(spec)
+    print(
+        f"gadget with Delta={args.delta}: {int(result.metrics['gadget_size'])} nodes, "
+        f"core span {result.metrics['core_span']:.3f}"
+    )
+    print(f"fact 2.1 (two transmitters silence the right tail): {result.checks['blocking_property']}")
+    print(f"fact 2.2 (target hears only a solo v_Delta+1): {result.checks['target_property']}")
+    print(f"adversarial delivery round (round-robin strategy): {result.details['delivery_round']}")
+    print(f"Omega(Delta) bound satisfied: {result.checks['omega_delta']}")
+    return 0 if result.checks["blocking_property"] and result.checks["target_property"] else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("deployments:")
+    for name in api.DEPLOYMENTS.names():
+        builder = api.DEPLOYMENTS.get(name)
+        doc = (builder.__doc__ or "").strip().splitlines()
+        print(f"  {name:20s} {doc[0] if doc else ''}")
+    print("algorithms:")
+    for name in api.ALGORITHMS.names():
+        entry = api.ALGORITHMS.get(name)
+        flags = " [standalone]" if entry.standalone else ""
+        print(f"  {name:20s} {entry.description}{flags}")
+    print("physics backends:")
+    for name in sorted(api.BACKENDS):
+        print(f"  {name:20s} {api.BACKENDS[name].__name__}")
+    print("config presets:")
+    for name in api.CONFIG_PRESETS.names():
+        print(f"  {name}")
+    return 0
+
+
+def _parse_seeds(text: str) -> list:
+    return [int(part) for part in text.replace(",", " ").split()]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        spec = RunSpec.from_json(handle.read())
+    seeds = _parse_seeds(args.seeds) if args.seeds else None
+    if seeds and len(seeds) > 1:
+        runset = api.run_many(spec, seeds=seeds, parallel=not args.serial)
+        print(runset.table().render())
+        summary = runset.summary()
+        rounds = summary["rounds"].get("total", {})
+        print(
+            f"seeds: {len(runset)}  rounds min/mean/max: "
+            f"{rounds.get('min')}/{rounds.get('mean'):.1f}/{rounds.get('max')}"
+        )
+        print(f"all checks pass: {runset.all_checks_pass()}")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(runset.to_json())
+            print(f"wrote {args.output}")
+        return 0 if runset.all_checks_pass() else 1
+    if seeds:
+        spec = spec.with_seed(seeds[0])
+    result = api.run(spec)
+    if "network" in result.details:
+        print(result.details["network"])
+    for key, value in sorted(result.rounds.items()):
+        print(f"rounds[{key}]: {value}")
+    for key, value in sorted(result.checks.items()):
+        print(f"check[{key}]: {value}")
+    if args.output:
+        import json as _json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        print(f"wrote {args.output}")
+    return 0 if result.all_checks_pass() else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,7 +278,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     gadget = subparsers.add_parser("gadget", help="inspect the lower-bound gadget (Theorem 6)")
     gadget.add_argument("--delta", type=int, default=8, help="gadget degree parameter Delta")
+    gadget.add_argument(
+        "--preset",
+        choices=api.CONFIG_PRESETS.names(),
+        default="fast",
+        help="algorithm constants preset",
+    )
+    gadget.add_argument("--dump-spec", action="store_true", help="print the RunSpec JSON and exit")
     gadget.set_defaults(handler=_cmd_gadget)
+
+    list_ = subparsers.add_parser(
+        "list", help="list registered deployments, algorithms, backends and presets"
+    )
+    list_.set_defaults(handler=_cmd_list)
+
+    run_ = subparsers.add_parser("run", help="execute a RunSpec JSON artifact")
+    run_.add_argument("--spec", required=True, help="path to a RunSpec JSON file")
+    run_.add_argument(
+        "--seeds", default=None, help="comma-separated seeds; more than one runs a parallel ensemble"
+    )
+    run_.add_argument("--serial", action="store_true", help="disable the process-pool fan-out")
+    run_.add_argument("--output", default=None, help="write the result JSON to this path")
+    run_.set_defaults(handler=_cmd_run)
 
     return parser
 

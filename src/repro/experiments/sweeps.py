@@ -1,9 +1,14 @@
-"""Programmatic experiment runners (parameter sweeps).
+"""Programmatic experiment runners (parameter sweeps) over :mod:`repro.api`.
 
 The benchmark harness under ``benchmarks/`` regenerates the paper's tables
 with fixed, committed parameters.  This module exposes the same experiments
-as a library API so that users can run their own sweeps (different sizes,
-seeds, SINR parameters) and get structured results back:
+as a library API: each sweep declares a *grid* of
+:class:`~repro.api.RunSpec` values (one spec per swept parameter value per
+algorithm) and hands the whole grid to :func:`repro.api.run_grid`, which
+fans the independent runs out across a process pool (``parallel=False``
+opts out).  All deployment and algorithm dispatch happens through the
+:mod:`repro.api` registries -- this module only assembles specs and shapes
+the results:
 
 * :func:`local_broadcast_sweep` -- Table 1 / Theorem 2 style: rounds versus
   density, ours against the baselines;
@@ -16,13 +21,14 @@ seeds, SINR parameters) and get structured results back:
 
 Every runner returns a list of :class:`SweepPoint` plus a rendered
 :class:`~repro.analysis.reporting.ExperimentTable`, and never mutates global
-state (each data point gets a fresh network and simulator).
+state (each data point gets a fresh network and simulator).  The historical
+call signatures are preserved; ``parallel=``/``max_workers=`` are additive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.complexity import (
     global_broadcast_bound,
@@ -30,21 +36,8 @@ from ..analysis.complexity import (
     clustering_bound,
 )
 from ..analysis.reporting import ExperimentTable
-from ..analysis.validation import validate_clustering
-from ..baselines import (
-    randomized_global_broadcast_decay,
-    randomized_local_broadcast_known_density,
-    tdma_global_broadcast,
-    tdma_local_broadcast,
-)
-from ..core import AlgorithmConfig, build_clustering, global_broadcast, local_broadcast
-from ..lowerbound import (
-    lower_bound_parameters,
-    measure_gadget_delivery,
-    round_robin_algorithm,
-)
-from ..simulation import SINRSimulator
-from ..sinr import deployment
+from ..api import AlgorithmSpec, DeploymentSpec, RunResult, RunSpec, run_grid
+from ..core import AlgorithmConfig
 
 
 @dataclass(frozen=True)
@@ -58,7 +51,12 @@ class SweepPoint:
     extra: Dict[str, float] = field(default_factory=dict)
 
     def all_checks_pass(self) -> bool:
-        """Whether every correctness check recorded at this point passed."""
+        """Whether every correctness check recorded at this point passed.
+
+        A point with no recorded checks passes by definition (``True``):
+        some sweeps (e.g. the TDMA baselines) measure rounds only, and an
+        absent check is "nothing to verify", not a failure.
+        """
         return all(self.checks.values())
 
 
@@ -71,7 +69,19 @@ class SweepResult:
     table: ExperimentTable
 
     def series(self, algorithm: str) -> List[Tuple[float, int]]:
-        """(parameter value, rounds) pairs for one algorithm label."""
+        """(parameter value, rounds) pairs for one algorithm label.
+
+        Raises a :class:`KeyError` naming the available labels when
+        ``algorithm`` appears at no point of the sweep (typo protection);
+        points that merely lack the label (e.g. a baseline that was skipped
+        at one size) are silently omitted.
+        """
+        available = self.algorithms()
+        if algorithm not in available:
+            raise KeyError(
+                f"no algorithm labelled {algorithm!r} in sweep {self.name!r}; "
+                f"available: {', '.join(available) or '(none)'}"
+            )
         return [(p.value, p.rounds[algorithm]) for p in self.points if algorithm in p.rounds]
 
     def algorithms(self) -> List[str]:
@@ -88,48 +98,118 @@ class SweepResult:
         return all(point.all_checks_pass() for point in self.points)
 
 
+# --------------------------------------------------------------------- #
+# Grid assembly helpers.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One grid cell: a spec plus how its result is labelled in the sweep."""
+
+    value: float
+    label: str
+    check_label: Optional[str]
+    check_key: Optional[str]
+    spec: RunSpec
+
+
+def _execute(
+    cells: Sequence[_Cell],
+    parallel: Optional[bool],
+    max_workers: Optional[int],
+) -> List[RunResult]:
+    return run_grid([cell.spec for cell in cells], parallel=parallel, max_workers=max_workers)
+
+
+def _grouped(
+    cells: Sequence[_Cell], results: Sequence[RunResult]
+) -> List[List[Tuple[_Cell, RunResult]]]:
+    """(cell, result) pairs grouped by swept value, in insertion order."""
+    groups: Dict[float, List[Tuple[_Cell, RunResult]]] = {}
+    for pair in zip(cells, results):
+        groups.setdefault(pair[0].value, []).append(pair)
+    return list(groups.values())
+
+
+def _point(parameter: str, value: float, pairs: Sequence[Tuple[_Cell, RunResult]]) -> SweepPoint:
+    """One :class:`SweepPoint` from one group of (cell, result) pairs."""
+    return SweepPoint(
+        parameter=parameter,
+        value=value,
+        rounds={cell.label: result.rounds["total"] for cell, result in pairs},
+        checks={
+            cell.check_label: result.checks[cell.check_key]
+            for cell, result in pairs
+            if cell.check_label and cell.check_key
+        },
+    )
+
+
 def local_broadcast_sweep(
     densities: Sequence[int] = (6, 10, 14),
     config: Optional[AlgorithmConfig] = None,
     include_baselines: bool = True,
     seed: int = 100,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Rounds of local broadcast versus density (Table 1 / Theorem 2 shape)."""
     config = config or AlgorithmConfig.fast()
+    cells: List[_Cell] = []
+    for density in densities:
+        density = int(density)
+        deployment = DeploymentSpec(
+            "hotspots",
+            {"nodes": 3 * density, "hotspots": 3, "spread": 0.18, "separation": 1.5},
+            seed=seed + density,
+        )
+
+        def cell(name, label, check_label, check_key, params=None):
+            return _Cell(
+                value=float(density),
+                label=label,
+                check_label=check_label,
+                check_key=check_key,
+                spec=RunSpec(
+                    deployment,
+                    AlgorithmSpec.from_config(name, config, params=params),
+                    tags={"sweep": "local-broadcast", "density": density},
+                ),
+            )
+
+        cells.append(cell("local-broadcast", "this work", "this work completed", "completed"))
+        if include_baselines:
+            cells.append(
+                cell(
+                    "local-broadcast-randomized",
+                    "randomized (known Delta)",
+                    "randomized completed",
+                    "completed",
+                    params={"seed": 1},
+                )
+            )
+            cells.append(cell("local-broadcast-tdma", "TDMA", None, None))
+
+    results = _execute(cells, parallel, max_workers)
+
     table = ExperimentTable(
         title="local broadcast sweep", columns=["Delta", "rounds", "reference shape"]
     )
     points: List[SweepPoint] = []
-    for density in densities:
-        def fresh_network():
-            return deployment.gaussian_hotspots(
-                3, int(density), spread=0.18, separation=1.5, seed=seed + int(density)
+    for pairs in _grouped(cells, results):
+        lead = pairs[0][1]
+        # The swept value reported is the *measured* density bound Delta.
+        delta = int(lead.metrics["delta_bound"])
+        reference = local_broadcast_bound(delta, int(lead.metrics["id_space"]))
+        for cell_, result in pairs:
+            table.add_row(
+                cell_.label,
+                Delta=delta,
+                rounds=result.rounds["total"],
+                **{"reference shape": reference},
             )
-
-        network = fresh_network()
-        delta = network.delta_bound
-        rounds: Dict[str, int] = {}
-        checks: Dict[str, bool] = {}
-
-        ours = local_broadcast(SINRSimulator(fresh_network()), config=config)
-        rounds["this work"] = ours.rounds_used
-        checks["this work completed"] = ours.completed(network)
-
-        if include_baselines:
-            randomized = randomized_local_broadcast_known_density(
-                SINRSimulator(fresh_network()), seed=1
-            )
-            rounds["randomized (known Delta)"] = randomized.rounds_used
-            checks["randomized completed"] = randomized.completed(network)
-            tdma = tdma_local_broadcast(SINRSimulator(fresh_network()))
-            rounds["TDMA"] = tdma.rounds_used
-
-        reference = local_broadcast_bound(delta, network.id_space)
-        for label, value in rounds.items():
-            table.add_row(label, Delta=delta, rounds=value, **{"reference shape": reference})
-        points.append(
-            SweepPoint(parameter="Delta", value=float(delta), rounds=rounds, checks=checks)
-        )
+        points.append(_point("Delta", float(delta), pairs))
     return SweepResult(name="local-broadcast", points=points, table=table)
 
 
@@ -139,50 +219,64 @@ def global_broadcast_sweep(
     config: Optional[AlgorithmConfig] = None,
     include_baselines: bool = True,
     seed: int = 200,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Rounds of global broadcast versus diameter (Table 2 / Theorem 3 shape)."""
     config = config or AlgorithmConfig.fast()
+    cells: List[_Cell] = []
+    for hops in hop_counts:
+        hops = int(hops)
+        deployment = DeploymentSpec(
+            "strip", {"hops": hops, "nodes_per_hop": int(nodes_per_hop)}, seed=seed + hops
+        )
+
+        def cell(name, label, check_label, check_key, params=None):
+            return _Cell(
+                value=float(hops),
+                label=label,
+                check_label=check_label,
+                check_key=check_key,
+                spec=RunSpec(
+                    deployment,
+                    AlgorithmSpec.from_config(name, config, params=params),
+                    tags={"sweep": "global-broadcast", "hops": hops},
+                ),
+            )
+
+        cells.append(cell("global-broadcast", "this work", "this work reached all", "reached_all"))
+        if include_baselines:
+            cells.append(
+                cell(
+                    "global-broadcast-decay",
+                    "randomized decay",
+                    "randomized reached all",
+                    "reached_all",
+                    params={"seed": 2},
+                )
+            )
+            cells.append(cell("global-broadcast-tdma", "TDMA flood", None, None))
+
+    results = _execute(cells, parallel, max_workers)
+
     table = ExperimentTable(
         title="global broadcast sweep", columns=["D", "Delta", "rounds", "reference shape"]
     )
     points: List[SweepPoint] = []
-    for hops in hop_counts:
-        def fresh_network():
-            return deployment.connected_strip(
-                hops=int(hops), nodes_per_hop=nodes_per_hop, seed=seed + int(hops)
-            )
-
-        network = fresh_network()
-        source = network.uids[0]
-        diameter = network.diameter_hops(source)
-        rounds: Dict[str, int] = {}
-        checks: Dict[str, bool] = {}
-
-        ours = global_broadcast(SINRSimulator(fresh_network()), source=source, config=config)
-        rounds["this work"] = ours.rounds_used
-        checks["this work reached all"] = ours.reached_all(network)
-
-        if include_baselines:
-            decay = randomized_global_broadcast_decay(
-                SINRSimulator(fresh_network()), source=source, seed=2
-            )
-            rounds["randomized decay"] = decay.rounds_used
-            checks["randomized reached all"] = decay.reached_all(network)
-            tdma = tdma_global_broadcast(SINRSimulator(fresh_network()), source=source)
-            rounds["TDMA flood"] = tdma.rounds_used
-
-        reference = global_broadcast_bound(diameter, network.delta_bound, network.id_space)
-        for label, value in rounds.items():
+    for pairs in _grouped(cells, results):
+        lead = pairs[0][1]  # the "this work" run carries the diameter metric
+        diameter = int(lead.metrics["diameter"])
+        delta = int(lead.metrics["delta_bound"])
+        reference = global_broadcast_bound(diameter, delta, int(lead.metrics["id_space"]))
+        for cell_, result in pairs:
             table.add_row(
-                label,
+                cell_.label,
                 D=diameter,
-                Delta=network.delta_bound,
-                rounds=value,
+                Delta=delta,
+                rounds=result.rounds["total"],
                 **{"reference shape": reference},
             )
-        points.append(
-            SweepPoint(parameter="D", value=float(diameter), rounds=rounds, checks=checks)
-        )
+        points.append(_point("D", float(diameter), pairs))
     return SweepResult(name="global-broadcast", points=points, table=table)
 
 
@@ -190,37 +284,58 @@ def clustering_sweep(
     densities: Sequence[int] = (5, 8, 12),
     config: Optional[AlgorithmConfig] = None,
     seed: int = 500,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Clustering rounds and validity versus density (Theorem 1 shape)."""
     config = config or AlgorithmConfig.fast()
+    cells: List[_Cell] = []
+    for density in densities:
+        density = int(density)
+        deployment = DeploymentSpec(
+            "hotspots",
+            {"nodes": 3 * density, "hotspots": 3, "spread": 0.18, "separation": 1.5},
+            seed=seed + density,
+        )
+        cells.append(
+            _Cell(
+                value=float(density),
+                label="this work",
+                check_label="valid clustering",
+                check_key="valid_clustering",
+                spec=RunSpec(
+                    deployment,
+                    AlgorithmSpec.from_config("cluster", config),
+                    tags={"sweep": "clustering", "density": density},
+                ),
+            )
+        )
+
+    results = _execute(cells, parallel, max_workers)
+
     table = ExperimentTable(
         title="clustering sweep", columns=["Gamma", "rounds", "clusters", "valid", "reference shape"]
     )
     points: List[SweepPoint] = []
-    for density in densities:
-        network = deployment.gaussian_hotspots(
-            3, int(density), spread=0.18, separation=1.5, seed=seed + int(density)
-        )
-        sim = SINRSimulator(network)
-        gamma = network.delta_bound
-        clustering = build_clustering(sim, config=config)
-        report = validate_clustering(network, clustering.cluster_of, max_radius=2.0)
-        reference = clustering_bound(gamma, network.id_space)
+    for cell_, result in zip(cells, results):
+        gamma = int(result.metrics["delta_bound"])
+        valid = result.checks["valid_clustering"]
+        reference = clustering_bound(gamma, int(result.metrics["id_space"]))
         table.add_row(
             "this work",
             Gamma=gamma,
-            rounds=clustering.rounds_used,
-            clusters=clustering.cluster_count(),
-            valid="yes" if report.valid else "NO",
+            rounds=result.rounds["total"],
+            clusters=int(result.metrics["clusters"]),
+            valid="yes" if valid else "NO",
             **{"reference shape": reference},
         )
         points.append(
             SweepPoint(
                 parameter="Gamma",
                 value=float(gamma),
-                rounds={"this work": clustering.rounds_used},
-                checks={"valid clustering": report.valid},
-                extra={"clusters": float(clustering.cluster_count())},
+                rounds={"this work": result.rounds["total"]},
+                checks={"valid clustering": valid},
+                extra={"clusters": result.metrics["clusters"]},
             )
         )
     return SweepResult(name="clustering", points=points, table=table)
@@ -229,35 +344,49 @@ def clustering_sweep(
 def gadget_delay_sweep(
     deltas: Sequence[int] = (4, 8, 12, 16),
     adversarial: bool = True,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Adversarially forced delivery delay versus ``Delta`` (Figures 5-6 shape)."""
-    params = lower_bound_parameters()
+    label = "round-robin under adversarial IDs" if adversarial else "round-robin, benign IDs"
+    cells: List[_Cell] = []
+    for delta in deltas:
+        delta = int(delta)
+        cells.append(
+            _Cell(
+                value=float(delta),
+                label="delay",
+                check_label="omega_delta",
+                check_key="omega_delta",
+                spec=RunSpec(
+                    DeploymentSpec("none"),
+                    AlgorithmSpec(
+                        "gadget", preset="default", params={"delta": delta, "adversarial": adversarial}
+                    ),
+                    tags={"sweep": "gadget-delay"},
+                ),
+            )
+        )
+
+    results = _execute(cells, parallel, max_workers)
+
     table = ExperimentTable(
         title="gadget delay sweep", columns=["Delta", "delay", "Omega(Delta) satisfied"]
     )
     points: List[SweepPoint] = []
-    for delta in deltas:
-        id_space = 4 * (int(delta) + 4)
-        algorithm = round_robin_algorithm(id_space)
-        outcome = measure_gadget_delivery(
-            algorithm,
-            delta=int(delta),
-            params=params,
-            id_pool=list(range(2, id_space)),
-            adversarial=adversarial,
-        )
-        delay = outcome.delivery_round or outcome.rounds_simulated
-        satisfied = delay >= int(delta)
+    for cell_, result in zip(cells, results):
+        delay = result.rounds["total"]
+        satisfied = result.checks["omega_delta"]
         table.add_row(
-            "round-robin under adversarial IDs" if adversarial else "round-robin, benign IDs",
-            Delta=int(delta),
+            label,
+            Delta=int(cell_.value),
             delay=delay,
             **{"Omega(Delta) satisfied": "yes" if satisfied else "NO"},
         )
         points.append(
             SweepPoint(
                 parameter="Delta",
-                value=float(delta),
+                value=cell_.value,
                 rounds={"delay": delay},
                 checks={"omega_delta": satisfied},
             )

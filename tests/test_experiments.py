@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import AlgorithmConfig
 from repro.experiments import (
+    SweepPoint,
     clustering_sweep,
     gadget_delay_sweep,
     global_broadcast_sweep,
@@ -44,6 +45,59 @@ class TestLocalBroadcastSweep:
     def test_without_baselines(self, config):
         sweep = local_broadcast_sweep(densities=[4], config=config, include_baselines=False)
         assert sweep.algorithms() == ["this work"]
+
+    def test_series_unknown_label_raises_helpfully(self, sweep):
+        with pytest.raises(KeyError, match="no algorithm labelled 'typo'.*this work"):
+            sweep.series("typo")
+
+
+class TestSweepPoint:
+    def test_all_checks_pass_true_on_empty_checks(self):
+        # Documented: a point with no recorded checks passes by definition.
+        point = SweepPoint(parameter="Delta", value=4.0, rounds={"TDMA": 10})
+        assert point.all_checks_pass()
+
+    def test_all_checks_pass_false_on_any_failure(self):
+        point = SweepPoint(
+            parameter="Delta", value=4.0, rounds={"x": 1}, checks={"a": True, "b": False}
+        )
+        assert not point.all_checks_pass()
+
+
+class TestSweepExecution:
+    def test_parallel_sweep_matches_serial(self, config):
+        serial = clustering_sweep(densities=[4, 5], config=config, parallel=False)
+        parallel = clustering_sweep(densities=[4, 5], config=config, parallel=True)
+        assert [p.rounds for p in parallel.points] == [p.rounds for p in serial.points]
+        assert [p.checks for p in parallel.points] == [p.checks for p in serial.points]
+        assert parallel.table.render() == serial.table.render()
+
+    def test_custom_config_round_trips_through_specs(self):
+        config = AlgorithmConfig(kappa=3, rho=2, sns_parameter=5)
+        sweep = clustering_sweep(densities=[4], config=config, parallel=False)
+        assert sweep.all_checks_pass()
+
+    def test_every_sweep_spec_round_trips(self, monkeypatch, config):
+        from repro.api import RunSpec
+        from repro.experiments import sweeps as sweeps_mod
+
+        captured = []
+        real_run_grid = sweeps_mod.run_grid
+
+        def capturing(specs, **kwargs):
+            specs = list(specs)
+            captured.extend(specs)
+            return real_run_grid(specs, parallel=False)
+
+        monkeypatch.setattr(sweeps_mod, "run_grid", capturing)
+        local_broadcast_sweep(densities=[4], config=config)
+        global_broadcast_sweep(hop_counts=[3], nodes_per_hop=2, config=config)
+        clustering_sweep(densities=[4], config=config)
+        gadget_delay_sweep(deltas=[4])
+        assert len(captured) >= 8
+        for spec in captured:
+            assert RunSpec.from_dict(spec.to_dict()) == spec
+            assert RunSpec.from_json(spec.to_json()) == spec
 
 
 class TestGlobalBroadcastSweep:
