@@ -1,0 +1,69 @@
+"""Drone convoy on patrol: clustering a rotating formation under churn.
+
+A ring of drone squads circles a survey area.  The formation rotates as one
+body (rigid convoy mobility), drones occasionally fail mid-flight, and
+replacements launch to fill the gaps -- the canonical *dynamic* scenario for
+the paper's clustering algorithm: the 1-clustering must be rebuilt as the
+network drifts, and the simulator's physics must follow the movement without
+re-deriving the O(n^2) gain matrix from scratch each epoch (the incremental
+``update_positions`` path benchmarked in
+``benchmarks/bench_dynamic_incremental.py``).
+
+The whole scenario is one declarative spec: a ring deployment, the paper's
+clustering algorithm, a ``convoy`` mobility block and a scripted-feeling
+churn process -- executed by :func:`repro.api.run_dynamic`, which re-runs
+the algorithm on every epoch of the evolving placement and returns the
+columnar per-epoch trajectory.
+
+Run it with::
+
+    python examples/drone_convoy.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import api
+
+SPEC = api.RunSpec(
+    deployment=api.DeploymentSpec("ring", {"nodes": 36, "clusters": 6}, seed=21),
+    algorithm=api.AlgorithmSpec("cluster", preset="fast"),
+    dynamics=api.DynamicsSpec(
+        mobility=api.MobilitySpec("convoy", {"omega": math.pi / 16}),
+        epochs=8,
+        events={"crash_prob": 0.04, "join_prob": 0.04},
+        seed=5,
+    ),
+)
+
+
+def main() -> None:
+    trajectory = api.run_dynamic(SPEC)
+
+    print(trajectory.table().render())
+    summary = trajectory.summary()
+    population = summary["population"]
+    events = summary["events"]
+    print(
+        f"\n{summary['epochs']} epochs of patrol: fleet size "
+        f"{population['min']}-{population['max']} drones "
+        f"({events['crashed']} lost, {events['joined']} reinforced)."
+    )
+    rounds = summary["rounds"]["total"]
+    print(
+        f"re-clustering cost per epoch: {rounds['min']:,}-{rounds['max']:,} rounds "
+        f"(mean {rounds['mean']:,.0f}); every epoch produced a valid clustering: "
+        f"{summary['all_checks_pass']}"
+    )
+    clusters = trajectory.metric("clusters")
+    print(f"cluster count along the trajectory: {[int(c) for c in clusters]}")
+    print(
+        "\nA rigid rotation preserves pairwise distances, so with zero churn the"
+        "\ngain matrix -- and the clustering -- would be epoch-invariant; the"
+        "\nvariation above is exactly the footprint of the crash/join churn."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,8 @@ The package is organised in layers:
   report generators used by the benchmark harness.
 * :mod:`repro.api` -- the declarative front door: frozen JSON-serializable
   run specs, string-keyed registries, and a parallel multi-seed executor.
+* :mod:`repro.dynamics` -- time-varying networks: mobility models, churn
+  timelines and the epoch runner over incremental physics updates.
 
 Quickstart (declarative)::
 

@@ -38,6 +38,7 @@ from .executor import (
     RunSet,
     build_deployment,
     run,
+    run_dynamic,
     run_grid,
     run_many,
 )
@@ -46,17 +47,24 @@ from .registry import (
     BACKENDS,
     CONFIG_PRESETS,
     DEPLOYMENTS,
+    MOBILITY,
     AlgorithmEntry,
     Registry,
     register_algorithm,
     register_deployment,
+    register_mobility,
     register_preset,
 )
-from .specs import AlgorithmSpec, DeploymentSpec, RunSpec
+from .specs import AlgorithmSpec, DeploymentSpec, DynamicsSpec, MobilitySpec, RunSpec
 
-# Populate the registries with the paper's deployments, algorithms and
-# baselines (import side effect, must come after the registry imports).
+# Populate the registries with the paper's deployments, algorithms,
+# baselines and mobility models (import side effect, must come after the
+# registry imports).
 from . import catalog as _catalog  # noqa: E402,F401
+
+# Columnar per-epoch results of run_dynamic (the dynamics package is already
+# loaded through the catalog's mobility registration).
+from ..dynamics.runner import EpochResult, EpochSet  # noqa: E402
 
 __all__ = [
     "ALGORITHMS",
@@ -67,6 +75,11 @@ __all__ = [
     "CONFIG_PRESETS",
     "DEPLOYMENTS",
     "DeploymentSpec",
+    "DynamicsSpec",
+    "EpochResult",
+    "EpochSet",
+    "MOBILITY",
+    "MobilitySpec",
     "Registry",
     "RunResult",
     "RunSet",
@@ -74,8 +87,10 @@ __all__ = [
     "build_deployment",
     "register_algorithm",
     "register_deployment",
+    "register_mobility",
     "register_preset",
     "run",
+    "run_dynamic",
     "run_grid",
     "run_many",
 ]

@@ -37,6 +37,11 @@ from ..lowerbound import (
     round_robin_algorithm,
 )
 from ..sinr import deployment
+
+# Importing the mobility module registers the built-in mobility models
+# (waypoint / drift / convoy / static) in the MOBILITY registry, exactly as
+# importing this module registers deployments and algorithms.
+from ..dynamics import mobility as _mobility  # noqa: F401
 from .executor import AlgorithmOutcome
 from .registry import ALGORITHMS, DEPLOYMENTS, register_algorithm, register_deployment
 

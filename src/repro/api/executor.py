@@ -46,6 +46,7 @@ __all__ = [
     "RunSet",
     "build_deployment",
     "run",
+    "run_dynamic",
     "run_grid",
     "run_many",
 ]
@@ -280,7 +281,18 @@ def run(spec: RunSpec, keep_raw: bool = True) -> RunResult:
     ``keep_raw=False`` drops the in-memory algorithm result object, which is
     what the parallel path does implicitly (raw objects never cross process
     boundaries).
+
+    A spec carrying a dynamics block is refused: a static execution would
+    silently ignore the mobility/churn scenario the spec describes while
+    still recording it in the result's spec.  Use :func:`run_dynamic` (or
+    strip the block with ``spec.with_dynamics(None)``).
     """
+    if spec.dynamics is not None:
+        raise ValueError(
+            "spec has a dynamics block; run_dynamic(spec) executes it -- a static "
+            "run() would silently ignore the dynamics (use spec.with_dynamics(None) "
+            "to run the initial placement only)"
+        )
     entry = ALGORITHMS.get(spec.algorithm.name)
     config = spec.algorithm.build_config()
     params = spec.algorithm.param_dict()
@@ -309,6 +321,22 @@ def run(spec: RunSpec, keep_raw: bool = True) -> RunResult:
         elapsed=elapsed,
         raw=outcome.raw if keep_raw else None,
     )
+
+
+def run_dynamic(spec: RunSpec):
+    """Execute a time-varying scenario epoch by epoch; returns an ``EpochSet``.
+
+    The spec must carry a :class:`~repro.api.specs.DynamicsSpec` (see
+    :meth:`RunSpec.with_dynamics`): per epoch the mobility model and event
+    timeline mutate the network through the incremental-physics mutation
+    API and the algorithm is re-run on the evolved placement.  This is the
+    dynamic sibling of :func:`run`; the loop itself lives in
+    :mod:`repro.dynamics.runner` (imported lazily -- the dynamics package
+    depends on this module).
+    """
+    from ..dynamics.runner import run_epochs
+
+    return run_epochs(spec)
 
 
 def _run_payload(spec_dict: Dict[str, Any]) -> Dict[str, Any]:

@@ -38,9 +38,11 @@ __all__ = [
     "BACKENDS",
     "CONFIG_PRESETS",
     "DEPLOYMENTS",
+    "MOBILITY",
     "Registry",
     "register_algorithm",
     "register_deployment",
+    "register_mobility",
     "register_preset",
 ]
 
@@ -130,6 +132,12 @@ ALGORITHMS = Registry("algorithm")
 #: ``AlgorithmConfig`` factories keyed by ``AlgorithmSpec.preset``.
 CONFIG_PRESETS = Registry("config preset")
 
+#: Mobility-model factories keyed by ``MobilitySpec.kind``.  The built-in
+#: models live in :mod:`repro.dynamics.mobility` (imported by the catalog);
+#: the registry itself lives here so plugins and the dynamics package share
+#: one lookup table without an import cycle.
+MOBILITY = Registry("mobility model")
+
 
 def register_deployment(name: str, *, overwrite: bool = False):
     """Decorator: register a deployment builder under ``name``.
@@ -170,6 +178,16 @@ def register_algorithm(
 def register_preset(name: str, factory: Optional[Callable[[], AlgorithmConfig]] = None, *, overwrite: bool = False):
     """Register a zero-argument ``AlgorithmConfig`` factory under ``name``."""
     return CONFIG_PRESETS.register(name, factory, overwrite=overwrite)
+
+
+def register_mobility(name: str, *, overwrite: bool = False):
+    """Decorator: register a mobility-model factory under ``name``.
+
+    The factory is called as ``fn(**params)`` (the ``params`` of a
+    :class:`~repro.api.specs.MobilitySpec`) and must return a
+    :class:`~repro.dynamics.mobility.MobilityModel`.
+    """
+    return MOBILITY.register(name, overwrite=overwrite)
 
 
 # The built-in presets mirror the AlgorithmConfig classmethods.

@@ -9,15 +9,24 @@ A complete experiment is described by three nested specs:
   algorithm (``"cluster"``, ``"local-broadcast"``, ...), the
   :class:`~repro.core.config.AlgorithmConfig` preset plus field overrides,
   and algorithm-level parameters (e.g. the broadcast source);
-* :class:`RunSpec` -- the pair of the two, plus free-form tags.
+* :class:`RunSpec` -- the pair of the two, plus free-form tags and an
+  optional :class:`DynamicsSpec` turning the run into a time-varying
+  scenario;
+* :class:`MobilitySpec` / :class:`DynamicsSpec` -- *how the network
+  changes*: a MOBILITY-registry key with parameters, the churn-process
+  parameters, the epoch count and the dynamics seed (consumed by
+  :func:`repro.api.run_dynamic`).
 
 Every spec is a frozen dataclass whose payload is restricted to
 JSON-representable scalars, so ``RunSpec.from_dict(spec.to_dict())`` is an
 exact round trip and any run can be shipped around as a small JSON artifact
-(see ``repro-sim run --spec``).  Specs carry *names*, not objects: the
-mapping from names to deployment generators, algorithms and config presets
-lives in :mod:`repro.api.registry`, which is what makes a spec serializable
-and lets third-party scenarios plug in without touching this module.
+(see ``repro-sim run --spec``).  A spec without dynamics serializes exactly
+as it did before dynamics existed (no ``"dynamics"`` key), so pre-existing
+JSON artifacts keep round-tripping bit for bit.  Specs carry *names*, not
+objects: the mapping from names to deployment generators, algorithms,
+mobility models and config presets lives in :mod:`repro.api.registry`,
+which is what makes a spec serializable and lets third-party scenarios
+plug in without touching this module.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from collections.abc import Mapping as AbstractMapping
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-__all__ = ["DeploymentSpec", "AlgorithmSpec", "RunSpec"]
+__all__ = ["DeploymentSpec", "AlgorithmSpec", "DynamicsSpec", "MobilitySpec", "RunSpec"]
 
 #: JSON scalar types allowed inside spec parameter mappings.
 _SCALARS = (bool, int, float, str, type(None))
@@ -205,31 +214,128 @@ class AlgorithmSpec:
 
 
 @dataclass(frozen=True)
+class MobilitySpec:
+    """A named mobility model: MOBILITY-registry key + parameters.
+
+    ``kind`` must name an entry of :data:`repro.api.registry.MOBILITY`
+    (``"waypoint"``, ``"drift"``, ``"convoy"``, ``"static"``, or a plugin);
+    ``params`` are keyword arguments of the registered factory.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __init__(self, kind: str, params: Optional[Mapping[str, Any]] = None) -> None:
+        object.__setattr__(self, "kind", str(kind))
+        object.__setattr__(self, "params", _freeze_params(params, "MobilitySpec.params"))
+
+    def param_dict(self) -> Dict[str, Any]:
+        """The parameters as a plain keyword-argument dictionary."""
+        return {key: _thaw(value) for key, value in self.params}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "params": {key: _thaw(value) for key, value in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MobilitySpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(kind=data["kind"], params=data.get("params") or {})
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """How a scenario evolves over time: mobility + churn + epochs + seed.
+
+    ``events`` are the keyword arguments of
+    :class:`repro.dynamics.events.ChurnProcess` (``crash_prob``,
+    ``join_prob``, ``sleep_prob``, ``sleep_epochs``, ``min_nodes``); an
+    empty mapping means a churn-free scenario.  ``seed`` drives the
+    dynamics generator, independent of the placement seed, so mobility can
+    be re-rolled over a fixed deployment and vice versa.
+    """
+
+    mobility: MobilitySpec
+    epochs: int = 8
+    events: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 0
+
+    def __init__(
+        self,
+        mobility: MobilitySpec,
+        epochs: int = 8,
+        events: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+    ) -> None:
+        if not isinstance(mobility, MobilitySpec):
+            raise TypeError("mobility must be a MobilitySpec")
+        if int(epochs) < 1:
+            raise ValueError("epochs must be at least 1")
+        object.__setattr__(self, "mobility", mobility)
+        object.__setattr__(self, "epochs", int(epochs))
+        object.__setattr__(self, "events", _freeze_params(events, "DynamicsSpec.events"))
+        object.__setattr__(self, "seed", int(seed))
+
+    def event_dict(self) -> Dict[str, Any]:
+        """The churn-process parameters as a plain keyword-argument dictionary."""
+        return {key: _thaw(value) for key, value in self.events}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "mobility": self.mobility.to_dict(),
+            "epochs": self.epochs,
+            "events": {key: _thaw(value) for key, value in self.events},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DynamicsSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            mobility=MobilitySpec.from_dict(data["mobility"]),
+            epochs=data.get("epochs", 8),
+            events=data.get("events") or {},
+            seed=data.get("seed", 0),
+        )
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """One complete, reproducible experiment: deployment + algorithm (+ tags).
 
     ``tags`` are free-form JSON scalars carried through to results and
     reports (sweeps use them to record the swept parameter); they do not
-    influence execution.
+    influence execution.  ``dynamics`` (optional) turns the run into a
+    time-varying scenario executed by :func:`repro.api.run_dynamic`; specs
+    without it serialize exactly as before the field existed.
     """
 
     deployment: DeploymentSpec
     algorithm: AlgorithmSpec
     tags: Tuple[Tuple[str, Any], ...] = ()
+    dynamics: Optional[DynamicsSpec] = None
 
     def __init__(
         self,
         deployment: DeploymentSpec,
         algorithm: AlgorithmSpec,
         tags: Optional[Mapping[str, Any]] = None,
+        dynamics: Optional[DynamicsSpec] = None,
     ) -> None:
         if not isinstance(deployment, DeploymentSpec):
             raise TypeError("deployment must be a DeploymentSpec")
         if not isinstance(algorithm, AlgorithmSpec):
             raise TypeError("algorithm must be an AlgorithmSpec")
+        if dynamics is not None and not isinstance(dynamics, DynamicsSpec):
+            raise TypeError("dynamics must be a DynamicsSpec (or None)")
         object.__setattr__(self, "deployment", deployment)
         object.__setattr__(self, "algorithm", algorithm)
         object.__setattr__(self, "tags", _freeze_params(tags, "RunSpec.tags"))
+        object.__setattr__(self, "dynamics", dynamics)
 
     @property
     def seed(self) -> int:
@@ -240,25 +346,39 @@ class RunSpec:
         """Copy of this spec with a different placement seed."""
         return replace(self, deployment=self.deployment.with_seed(seed))
 
+    def with_dynamics(self, dynamics: Optional[DynamicsSpec]) -> "RunSpec":
+        """Copy of this spec with a different (or removed) dynamics block."""
+        return replace(self, dynamics=dynamics)
+
     def tag_dict(self) -> Dict[str, Any]:
         """The tags as a plain dictionary."""
         return {key: _thaw(value) for key, value in self.tags}
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
-        return {
+        """Plain-JSON representation (inverse of :meth:`from_dict`).
+
+        The ``"dynamics"`` key is present only when a dynamics block is set:
+        static specs keep the exact serialization they had before dynamics
+        existed (pinned by the backward-compatibility tests).
+        """
+        data = {
             "deployment": self.deployment.to_dict(),
             "algorithm": self.algorithm.to_dict(),
             "tags": {key: _thaw(value) for key, value in self.tags},
         }
+        if self.dynamics is not None:
+            data["dynamics"] = self.dynamics.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
         """Rebuild a spec from :meth:`to_dict` output."""
+        dynamics = data.get("dynamics")
         return cls(
             deployment=DeploymentSpec.from_dict(data["deployment"]),
             algorithm=AlgorithmSpec.from_dict(data["algorithm"]),
             tags=data.get("tags") or {},
+            dynamics=DynamicsSpec.from_dict(dynamics) if dynamics else None,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

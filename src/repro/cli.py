@@ -10,6 +10,7 @@ multi-seed ensembles) and the result is printed as a short report, e.g.::
     repro-sim global-broadcast --deployment strip --hops 6
     repro-sim leader-election --deployment ring --nodes 30
     repro-sim cluster --deployment uniform --nodes 2000 --area 12 --backend lazy
+    repro-sim dynamic --mobility waypoint --epochs 8 --crash-prob 0.02
     repro-sim gadget --delta 12
     repro-sim list
     repro-sim run --spec myrun.json --seeds 0,1,2,3
@@ -30,7 +31,7 @@ import sys
 from typing import Any, Dict, Optional, Sequence
 
 from . import api
-from .api import AlgorithmSpec, DeploymentSpec, RunSpec
+from .api import AlgorithmSpec, DeploymentSpec, DynamicsSpec, MobilitySpec, RunSpec
 from .core import AlgorithmConfig
 
 
@@ -171,6 +172,63 @@ def _cmd_leader_election(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dynamic_spec(args: argparse.Namespace) -> RunSpec:
+    mobility_params: Dict[str, Any] = {}
+    if args.mobility != "static":
+        mobility_params["fraction"] = args.move_fraction
+    events: Dict[str, Any] = {}
+    if args.crash_prob > 0:
+        events["crash_prob"] = args.crash_prob
+    if args.join_prob > 0:
+        events["join_prob"] = args.join_prob
+    if args.sleep_prob > 0:
+        events["sleep_prob"] = args.sleep_prob
+    return RunSpec(
+        deployment=_deployment_spec(args),
+        algorithm=AlgorithmSpec(args.algorithm, preset=args.preset),
+        dynamics=DynamicsSpec(
+            mobility=MobilitySpec(args.mobility, mobility_params),
+            epochs=args.epochs,
+            events=events,
+            seed=args.dynamics_seed,
+        ),
+    )
+
+
+def _run_and_report_dynamic(spec: RunSpec, output: Optional[str]) -> int:
+    trajectory = api.run_dynamic(spec)
+    print(trajectory.table().render())
+    summary = trajectory.summary()
+    rounds = summary["rounds"].get("total", {})
+    population = summary["population"]
+    events = summary["events"]
+    print(
+        f"epochs: {summary['epochs']}  rounds min/mean/max: "
+        f"{rounds.get('min')}/{rounds.get('mean'):.1f}/{rounds.get('max')}"
+    )
+    print(
+        f"population min/final/max: "
+        f"{population['min']}/{population['final']}/{population['max']}"
+    )
+    print(
+        "events: "
+        + " ".join(f"{key}={events[key]}" for key in ("moved", "crashed", "joined", "slept", "woke"))
+    )
+    print(f"all checks pass: {summary['all_checks_pass']}")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(trajectory.to_json())
+        print(f"wrote {output}")
+    return 0 if summary["all_checks_pass"] else 1
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    spec = _dynamic_spec(args)
+    if _maybe_dump(args, spec):
+        return 0
+    return _run_and_report_dynamic(spec, args.output)
+
+
 def _cmd_gadget(args: argparse.Namespace) -> int:
     spec = RunSpec(
         deployment=DeploymentSpec("none"),
@@ -201,6 +259,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         entry = api.ALGORITHMS.get(name)
         flags = " [standalone]" if entry.standalone else ""
         print(f"  {name:20s} {entry.description}{flags}")
+    print("mobility models:")
+    for name in api.MOBILITY.names():
+        factory = api.MOBILITY.get(name)
+        doc = (factory.__doc__ or "").strip().splitlines()
+        print(f"  {name:20s} {doc[0] if doc else ''}")
     print("physics backends:")
     for name in sorted(api.BACKENDS):
         print(f"  {name:20s} {api.BACKENDS[name].__name__}")
@@ -218,6 +281,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.spec, "r", encoding="utf-8") as handle:
         spec = RunSpec.from_json(handle.read())
     seeds = _parse_seeds(args.seeds) if args.seeds else None
+    if spec.dynamics is not None:
+        # Dynamic scenarios run their epoch loop, not the static executor.
+        if seeds and len(seeds) > 1:
+            print("error: a dynamic spec runs one trajectory; pass at most one seed", file=sys.stderr)
+            return 2
+        if seeds:
+            spec = spec.with_seed(seeds[0])
+        return _run_and_report_dynamic(spec, args.output)
     if seeds and len(seeds) > 1:
         runset = api.run_many(spec, seeds=seeds, parallel=not args.serial)
         print(runset.table().render())
@@ -275,6 +346,40 @@ def build_parser() -> argparse.ArgumentParser:
     leader = subparsers.add_parser("leader-election", help="elect a leader (Theorem 5)")
     _add_network_arguments(leader)
     leader.set_defaults(handler=_cmd_leader_election)
+
+    dynamic = subparsers.add_parser(
+        "dynamic", help="run an algorithm across epochs of a time-varying network"
+    )
+    _add_network_arguments(dynamic)
+    dynamic.add_argument(
+        "--algorithm",
+        choices=[name for name in api.ALGORITHMS.names() if not api.ALGORITHMS.get(name).standalone],
+        default="cluster",
+        help="algorithm re-run on every epoch",
+    )
+    dynamic.add_argument(
+        "--mobility",
+        choices=api.MOBILITY.names(),
+        default="waypoint",
+        help="mobility model advancing positions each epoch (see 'repro-sim list')",
+    )
+    dynamic.add_argument("--epochs", type=int, default=6, help="number of epochs to simulate")
+    dynamic.add_argument(
+        "--move-fraction",
+        type=float,
+        default=1.0,
+        help="fraction of nodes moved per epoch (non-static mobility models)",
+    )
+    dynamic.add_argument("--crash-prob", type=float, default=0.0, help="per-node crash probability per epoch")
+    dynamic.add_argument("--join-prob", type=float, default=0.0, help="expected joins per node per epoch")
+    dynamic.add_argument(
+        "--sleep-prob", type=float, default=0.0, help="per-node duty-cycle sleep probability per epoch"
+    )
+    dynamic.add_argument(
+        "--dynamics-seed", type=int, default=0, help="seed of the mobility/churn process (independent of --seed)"
+    )
+    dynamic.add_argument("--output", default=None, help="write the EpochSet JSON to this path")
+    dynamic.set_defaults(handler=_cmd_dynamic)
 
     gadget = subparsers.add_parser("gadget", help="inspect the lower-bound gadget (Theorem 6)")
     gadget.add_argument("--delta", type=int, default=8, help="gadget degree parameter Delta")

@@ -1,0 +1,63 @@
+"""Dynamic networks: mobility, churn and incremental physics under SINR.
+
+The static reproduction answers "what does the algorithm do on *this*
+placement"; this package answers "what does it do as the placement drifts".
+Three pieces compose a dynamic scenario:
+
+* :mod:`repro.dynamics.mobility` -- seeded, vectorized position processes
+  (random waypoint, Gaussian drift, convoy rotation) behind the
+  :data:`~repro.api.registry.MOBILITY` registry;
+* :mod:`repro.dynamics.events` -- event timelines (crash, join, duty-cycle
+  sleep) applied through the network's single mutation API;
+* :mod:`repro.dynamics.runner` -- the epoch loop: mutate, update physics
+  incrementally, re-run the algorithm, accumulate a columnar
+  :class:`~repro.dynamics.runner.EpochSet`.
+
+Declaratively, a dynamic scenario is a normal :class:`~repro.api.RunSpec`
+with a :class:`~repro.api.DynamicsSpec` attached::
+
+    from repro import api
+
+    spec = api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 60, "area": 3.0}),
+        algorithm=api.AlgorithmSpec("cluster", preset="fast"),
+        dynamics=api.DynamicsSpec(
+            mobility=api.MobilitySpec("waypoint", {"speed": 0.3, "fraction": 0.2}),
+            epochs=10,
+            events={"crash_prob": 0.02, "join_prob": 0.02},
+        ),
+    )
+    trajectory = api.run_dynamic(spec)
+    print(trajectory.rounds().mean(), trajectory.metric("n"))
+
+or, from the shell, ``repro-sim dynamic --mobility waypoint --epochs 10``.
+"""
+
+from .events import ChurnProcess, EpochEvents, EventTimeline, ScriptedEvents
+from .mobility import (
+    MOBILITY,
+    ConvoyRotation,
+    GaussianDrift,
+    MobilityModel,
+    RandomWaypoint,
+    StaticMobility,
+    register_mobility,
+)
+from .runner import EpochResult, EpochSet, run_epochs
+
+__all__ = [
+    "MOBILITY",
+    "ChurnProcess",
+    "ConvoyRotation",
+    "EpochEvents",
+    "EpochResult",
+    "EpochSet",
+    "EventTimeline",
+    "GaussianDrift",
+    "MobilityModel",
+    "RandomWaypoint",
+    "ScriptedEvents",
+    "StaticMobility",
+    "register_mobility",
+    "run_epochs",
+]

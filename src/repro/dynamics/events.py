@@ -1,0 +1,219 @@
+"""Event timelines: crash, join and duty-cycle sleep for dynamic networks.
+
+An *event timeline* mutates the node set at the start of each epoch, always
+through the network's single mutation API (``add_nodes``/``remove_nodes``),
+and reports what it did as an :class:`EpochEvents` record.  Two timelines
+ship with the reproduction:
+
+* :class:`ChurnProcess` -- a seeded stochastic process: each epoch every
+  node crashes with probability ``crash_prob`` or falls asleep (duty
+  cycling) with probability ``sleep_prob`` for ``sleep_epochs`` epochs, and
+  ``Binomial(n, join_prob)`` new nodes join at uniform positions inside the
+  deployment's initial bounding box (the fixed staging area, even if the
+  formation later drifts away from it).
+* :class:`ScriptedEvents` -- an explicit per-epoch script (crash these uids,
+  join at those positions), for scenarios and tests that need exact control.
+
+Sleep is modeled as temporary churn: a sleeping radio neither transmits nor
+interferes, so the node leaves the network and rejoins -- same uid, same
+position -- when its duty cycle ends.  Crashed nodes never return; their
+uids are retired.  Timelines never remove the last ``min_nodes`` nodes, so
+an aggressive churn configuration degrades gracefully instead of emptying
+the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sinr.network import WirelessNetwork
+from .mobility import _bounding_box
+
+__all__ = ["ChurnProcess", "EpochEvents", "EventTimeline", "ScriptedEvents"]
+
+
+@dataclass(frozen=True)
+class EpochEvents:
+    """What happened to the node set at the start of one epoch (by uid)."""
+
+    crashed: Tuple[int, ...] = ()
+    joined: Tuple[int, ...] = ()
+    slept: Tuple[int, ...] = ()
+    woke: Tuple[int, ...] = ()
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts, the per-epoch columns of an ``EpochSet``."""
+        return {
+            "crashed": len(self.crashed),
+            "joined": len(self.joined),
+            "slept": len(self.slept),
+            "woke": len(self.woke),
+        }
+
+
+class EventTimeline:
+    """Base timeline: applies nothing.  Subclasses override :meth:`apply`."""
+
+    def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        """Observe the initial network (bounding box for join placement)."""
+
+    def apply(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> EpochEvents:
+        """Mutate ``network`` for this epoch and report what changed."""
+        return EpochEvents()
+
+
+@dataclass
+class _Sleeper:
+    """A duty-cycled node parked outside the network until ``wake_epoch``."""
+
+    uid: int
+    position: Tuple[float, float]
+    wake_epoch: int
+
+
+class ChurnProcess(EventTimeline):
+    """Seeded crash / join / duty-cycle sleep process.
+
+    Parameters
+    ----------
+    crash_prob:
+        Per-node, per-epoch probability of crashing permanently.
+    join_prob:
+        Expected joins per epoch are ``join_prob * n`` (binomial draw); new
+        nodes take fresh uids and uniform positions in the *initial*
+        bounding box captured at :meth:`reset`.
+    sleep_prob:
+        Per-node, per-epoch probability of going to sleep for
+        ``sleep_epochs`` epochs, after which the node rejoins at the
+        position where it fell asleep.
+    min_nodes:
+        Crashes and sleeps are clamped so at least this many nodes remain.
+    """
+
+    def __init__(
+        self,
+        crash_prob: float = 0.0,
+        join_prob: float = 0.0,
+        sleep_prob: float = 0.0,
+        sleep_epochs: int = 2,
+        min_nodes: int = 2,
+    ) -> None:
+        for name, p in (("crash_prob", crash_prob), ("join_prob", join_prob), ("sleep_prob", sleep_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if crash_prob + sleep_prob > 1.0:
+            # The two outcomes are exclusive per node per epoch; a sum above 1
+            # would silently truncate the realized sleep probability.
+            raise ValueError("crash_prob + sleep_prob must not exceed 1")
+        if sleep_epochs < 1:
+            raise ValueError("sleep_epochs must be at least 1")
+        self.crash_prob = float(crash_prob)
+        self.join_prob = float(join_prob)
+        self.sleep_prob = float(sleep_prob)
+        self.sleep_epochs = int(sleep_epochs)
+        self.min_nodes = max(1, int(min_nodes))
+        self._lo = np.zeros(2)
+        self._hi = np.ones(2)
+        self._sleepers: List[_Sleeper] = []
+        self._next_uid = 1
+
+    def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        self._lo, self._hi = _bounding_box(network.positions)
+        self._sleepers = []
+        # Joins draw from a monotone uid counter so a fresh node can never
+        # claim the uid of a currently-sleeping (parked) node.
+        self._next_uid = int(network.uid_array.max()) + 1
+
+    def apply(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> EpochEvents:
+        # 1. Wake the sleepers whose duty cycle ended, before sampling this
+        #    epoch's events: a due node must be back in the network when the
+        #    algorithm runs, which also makes it eligible for this epoch's
+        #    crash/sleep draw like any other live node.
+        due = [s for s in self._sleepers if s.wake_epoch <= epoch]
+        self._sleepers = [s for s in self._sleepers if s.wake_epoch > epoch]
+        woke: List[int] = []
+        if due:
+            network.add_nodes([s.position for s in due], uids=[s.uid for s in due])
+            woke = [s.uid for s in due]
+
+        # 2. Sample crashes and sleeps over the current population, clamped
+        #    so the network never shrinks below min_nodes.
+        uid_array = network.uid_array
+        n = len(uid_array)
+        draws = rng.random(n)
+        crash_mask = draws < self.crash_prob
+        sleep_mask = (~crash_mask) & (draws < self.crash_prob + self.sleep_prob)
+        removable = max(0, n - self.min_nodes)
+        leaving = np.flatnonzero(crash_mask | sleep_mask)
+        if len(leaving) > removable:
+            leaving = leaving[:removable]
+            keep_mask = np.zeros(n, dtype=bool)
+            keep_mask[leaving] = True
+            crash_mask &= keep_mask
+            sleep_mask &= keep_mask
+        crashed = [int(u) for u in uid_array[crash_mask]]
+        slept = [int(u) for u in uid_array[sleep_mask]]
+        if slept:
+            positions = network.positions
+            for uid in slept:
+                index = network.index_of(uid)
+                self._sleepers.append(
+                    _Sleeper(
+                        uid=uid,
+                        position=(float(positions[index, 0]), float(positions[index, 1])),
+                        wake_epoch=epoch + self.sleep_epochs,
+                    )
+                )
+        if crashed or slept:
+            network.remove_nodes(crashed + slept)
+
+        # 3. Joins: fresh uids at uniform positions in the initial bounding box.
+        joined: List[int] = []
+        arrivals = int(rng.binomial(n, self.join_prob)) if self.join_prob > 0 else 0
+        if arrivals:
+            positions = rng.uniform(self._lo, self._hi, size=(arrivals, 2))
+            uids = list(range(self._next_uid, self._next_uid + arrivals))
+            self._next_uid += arrivals
+            joined = network.add_nodes(positions, uids=uids)
+        return EpochEvents(
+            crashed=tuple(crashed), joined=tuple(joined), slept=tuple(slept), woke=tuple(woke)
+        )
+
+
+class ScriptedEvents(EventTimeline):
+    """An explicit per-epoch event script: exact crashes and joins.
+
+    ``crashes`` maps an epoch to the uids removed at its start; ``joins``
+    maps an epoch to the positions of the nodes added (fresh uids are
+    assigned by the network and reported in the returned
+    :class:`EpochEvents`).
+    """
+
+    def __init__(
+        self,
+        crashes: Optional[Mapping[int, Sequence[int]]] = None,
+        joins: Optional[Mapping[int, Sequence[Sequence[float]]]] = None,
+    ) -> None:
+        self._crashes = {int(e): [int(u) for u in uids] for e, uids in (crashes or {}).items()}
+        self._joins = {
+            int(e): [tuple(map(float, xy)) for xy in chunks] for e, chunks in (joins or {}).items()
+        }
+
+    def apply(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> EpochEvents:
+        crashed = self._crashes.get(epoch, [])
+        if crashed:
+            network.remove_nodes(crashed)
+        joined: List[int] = []
+        arrivals = self._joins.get(epoch, [])
+        if arrivals:
+            joined = network.add_nodes(arrivals)
+        return EpochEvents(crashed=tuple(crashed), joined=tuple(joined))

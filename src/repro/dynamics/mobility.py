@@ -1,0 +1,229 @@
+"""Mobility models: seeded, vectorized position processes for dynamic networks.
+
+A *mobility model* decides, once per epoch, which nodes move and where.  The
+contract is deliberately tiny -- :meth:`MobilityModel.reset` sees the initial
+network, :meth:`MobilityModel.step` returns ``(indices, new_xy)`` against the
+*current* placement -- so models stay pure position processes: churn (nodes
+appearing and disappearing between steps) is handled by keying any per-node
+state on uids, and the epoch runner owns applying the returned moves through
+:meth:`~repro.sinr.network.WirelessNetwork.move_nodes`.
+
+All randomness comes from the generator the runner passes in (derived from
+``DynamicsSpec.seed``), so a dynamic scenario is exactly as reproducible as a
+static one.  Models register in the :data:`~repro.api.registry.MOBILITY`
+registry via :func:`~repro.api.registry.register_mobility`, mirroring the
+deployment/algorithm registries -- third-party processes plug in the same
+way::
+
+    from repro.api import register_mobility
+    from repro.dynamics import MobilityModel
+
+    @register_mobility("highway")
+    def highway(lanes=2, speed=0.4):
+        ...return a MobilityModel...
+
+Built-in models: ``waypoint`` (random waypoint), ``drift`` (Gaussian random
+walk), ``convoy`` (rigid rotation around a pivot -- the drone-convoy
+scenario) and ``static`` (no movement; the control case).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.registry import MOBILITY, register_mobility
+from ..sinr.network import WirelessNetwork
+
+__all__ = [
+    "MOBILITY",
+    "ConvoyRotation",
+    "GaussianDrift",
+    "MobilityModel",
+    "RandomWaypoint",
+    "StaticMobility",
+    "register_mobility",
+]
+
+
+class MobilityModel(ABC):
+    """A seeded position process advanced once per epoch."""
+
+    def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        """Observe the initial placement (bounding boxes, pivots, targets)."""
+
+    @abstractmethod
+    def step(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The moves of one epoch: dense ``indices`` and their new ``(m, 2)`` positions.
+
+        Must not mutate the network; the epoch runner applies the result
+        through the single mutation API.
+        """
+
+
+def _subset(n: int, fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """A seeded subset of ``round(fraction * n)`` dense indices (all, when 1)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if fraction >= 1.0:
+        return np.arange(n)
+    m = int(round(fraction * n))
+    if m <= 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(rng.choice(n, size=m, replace=False)).astype(np.int64)
+
+
+def _bounding_box(positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    return positions.min(axis=0).copy(), positions.max(axis=0).copy()
+
+
+class RandomWaypoint(MobilityModel):
+    """Classic random waypoint: move toward a private target, then pick a new one.
+
+    Targets are drawn uniformly from the initial placement's bounding box
+    (or an explicit ``area`` square) and are keyed by uid, so nodes that
+    join mid-scenario get a target on their first step and crashed nodes
+    drop theirs.
+    """
+
+    def __init__(self, speed: float = 0.25, fraction: float = 1.0, area: Optional[float] = None):
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.speed = float(speed)
+        self.fraction = float(fraction)
+        self.area = None if area is None else float(area)
+        self._lo = np.zeros(2)
+        self._hi = np.ones(2)
+        self._targets: Dict[int, np.ndarray] = {}
+
+    def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        if self.area is not None:
+            self._lo, self._hi = np.zeros(2), np.full(2, self.area)
+        else:
+            self._lo, self._hi = _bounding_box(network.positions)
+        self._targets = {}
+
+    def _target_of(self, uid: int, rng: np.random.Generator) -> np.ndarray:
+        target = self._targets.get(uid)
+        if target is None:
+            target = rng.uniform(self._lo, self._hi)
+            self._targets[uid] = target
+        return target
+
+    def step(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Crashed nodes drop their targets (keeps the dict bounded by the
+        # live population under sustained churn).
+        if len(self._targets) > network.size:
+            live = set(int(uid) for uid in network.uid_array)
+            self._targets = {uid: t for uid, t in self._targets.items() if uid in live}
+        indices = _subset(network.size, self.fraction, rng)
+        if not indices.size:
+            return indices, np.empty((0, 2))
+        positions = network.positions[indices]
+        uids = network.uid_array[indices]
+        targets = np.vstack([self._target_of(int(uid), rng) for uid in uids])
+        delta = targets - positions
+        dist = np.sqrt((delta * delta).sum(axis=1))
+        arrived = dist <= self.speed
+        scale = np.where(arrived, 1.0, self.speed / np.maximum(dist, 1e-12))
+        new_xy = positions + delta * scale[:, None]
+        for uid in uids[arrived]:
+            # Arrived: a fresh waypoint is drawn on the next step.
+            self._targets.pop(int(uid), None)
+        return indices, new_xy
+
+
+class GaussianDrift(MobilityModel):
+    """Gaussian random walk: a seeded subset drifts by N(0, sigma^2) per axis."""
+
+    def __init__(self, sigma: float = 0.05, fraction: float = 1.0):
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.sigma = float(sigma)
+        self.fraction = float(fraction)
+
+    def step(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        indices = _subset(network.size, self.fraction, rng)
+        if not indices.size:
+            return indices, np.empty((0, 2))
+        offsets = rng.normal(0.0, self.sigma, size=(indices.size, 2))
+        return indices, network.positions[indices] + offsets
+
+
+class ConvoyRotation(MobilityModel):
+    """Rigid rotation around a pivot: the ring/convoy scenario.
+
+    With ``fraction=1`` the whole formation turns as one body, so pairwise
+    distances -- and therefore the entire gain matrix -- are preserved; a
+    smaller fraction models stragglers falling out of formation.
+    """
+
+    def __init__(
+        self,
+        omega: float = 2.0 * np.pi / 48.0,
+        fraction: float = 1.0,
+        center: Optional[Tuple[float, float]] = None,
+    ):
+        self.omega = float(omega)
+        self.fraction = float(fraction)
+        self._center = None if center is None else np.asarray(center, dtype=float)
+        self._pivot = np.zeros(2)
+
+    def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        self._pivot = (
+            self._center if self._center is not None else network.positions.mean(axis=0).copy()
+        )
+
+    def step(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        indices = _subset(network.size, self.fraction, rng)
+        if not indices.size:
+            return indices, np.empty((0, 2))
+        rel = network.positions[indices] - self._pivot
+        cos, sin = np.cos(self.omega), np.sin(self.omega)
+        rotated = np.column_stack(
+            [rel[:, 0] * cos - rel[:, 1] * sin, rel[:, 0] * sin + rel[:, 1] * cos]
+        )
+        return indices, rotated + self._pivot
+
+
+class StaticMobility(MobilityModel):
+    """No movement at all -- the control case for churn-only scenarios."""
+
+    def step(
+        self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return np.empty(0, dtype=np.int64), np.empty((0, 2))
+
+
+@register_mobility("waypoint")
+def _waypoint(speed: float = 0.25, fraction: float = 1.0, area: Optional[float] = None):
+    """Random waypoint: head to a uniform target, re-roll on arrival."""
+    return RandomWaypoint(speed=speed, fraction=fraction, area=area)
+
+
+@register_mobility("drift")
+def _drift(sigma: float = 0.05, fraction: float = 1.0):
+    """Gaussian random walk with per-axis std ``sigma``."""
+    return GaussianDrift(sigma=sigma, fraction=fraction)
+
+
+@register_mobility("convoy")
+def _convoy(omega: float = 2.0 * np.pi / 48.0, fraction: float = 1.0):
+    """Rigid ring/convoy rotation by ``omega`` radians per epoch."""
+    return ConvoyRotation(omega=omega, fraction=fraction)
+
+
+@register_mobility("static")
+def _static():
+    """No movement (churn-only control case)."""
+    return StaticMobility()

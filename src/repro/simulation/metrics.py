@@ -79,9 +79,14 @@ class ExperimentSample:
 
 
 def summarize_samples(samples: List[ExperimentSample]) -> Dict[str, float]:
-    """Mean rounds/messages over a list of samples (empty-safe)."""
+    """Mean rounds/messages over a non-empty list of samples.
+
+    An empty list is a hard error: silently reporting zero-mean rounds for
+    an experiment that never ran reads as "this protocol is free", which is
+    exactly the vacuous-truth trap ``EpochSet.summary`` also refuses.
+    """
     if not samples:
-        return {"rounds": 0.0, "messages_sent": 0.0, "messages_delivered": 0.0}
+        raise ValueError("summarize_samples() of zero samples is undefined: nothing was measured")
     n = float(len(samples))
     return {
         "rounds": sum(s.rounds for s in samples) / n,

@@ -35,6 +35,13 @@ import numpy as np
 
 from ..model import NUMERIC_TOLERANCE, SINRParameters
 
+#: Gain assigned to co-located *distinct* node pairs (zero distance would give
+#: infinite received power).  Deliberately independent of the network size so
+#: that incremental mutations (add/remove/move) leave exactly the same values
+#: a fresh backend over the new placement would compute; the 2^32 headroom
+#: keeps any realistic interference sum finite.
+COLOCATED_GAIN = float(np.finfo(float).max / 2**32)
+
 
 @dataclass(frozen=True)
 class Reception:
@@ -167,6 +174,50 @@ class PhysicsBackend(ABC):
     def params(self) -> SINRParameters:
         """The SINR parameters in force."""
         return self._params
+
+    # ------------------------------------------------------------------ #
+    # Incremental placement mutation (dynamic networks).
+    # ------------------------------------------------------------------ #
+
+    def update_positions(self, indices: np.ndarray, new_xy: np.ndarray) -> None:
+        """Move the nodes at ``indices`` to coordinates ``new_xy``, in place.
+
+        Backends update only the state the move actually touches (gain
+        rows/columns of the moved nodes, cached rank tables, cached rows)
+        instead of rebuilding from scratch; after the call the backend is
+        indistinguishable from one freshly constructed over the new
+        placement (property-tested in ``tests/test_incremental_physics.py``).
+        ``indices`` must be duplicate-free.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental position updates"
+        )
+
+    def add_nodes(self, new_xy: np.ndarray) -> None:
+        """Append nodes at coordinates ``new_xy``; they take the next dense indices."""
+        raise NotImplementedError(f"{type(self).__name__} does not support adding nodes")
+
+    def remove_nodes(self, indices: np.ndarray) -> None:
+        """Delete the nodes at ``indices``; remaining nodes are re-indexed compactly.
+
+        The surviving nodes keep their relative order, so dense index ``j``
+        after the call refers to the ``j``-th surviving node.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support removing nodes")
+
+    @staticmethod
+    def _check_moves(size: int, indices: np.ndarray, new_xy: np.ndarray) -> tuple:
+        """Validate and normalize an ``update_positions`` request."""
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        new_xy = np.asarray(new_xy, dtype=float).reshape(-1, 2)
+        if len(indices) != len(new_xy):
+            raise ValueError("indices and new_xy must have matching lengths")
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= size:
+                raise ValueError("node index out of range")
+            if len(np.unique(indices)) != len(indices):
+                raise ValueError("indices must be duplicate-free")
+        return indices, new_xy
 
     # ------------------------------------------------------------------ #
     # Scalar helpers (generic; backends may override with faster paths).

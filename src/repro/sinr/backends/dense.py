@@ -20,7 +20,7 @@ import numpy as np
 
 from ..geometry import pairwise_distances
 from ..model import NUMERIC_TOLERANCE, SINRParameters
-from .base import DeliveryTable, PhysicsBackend, _empty_table
+from .base import COLOCATED_GAIN, DeliveryTable, PhysicsBackend, _empty_table
 
 
 class DenseMatrixBackend(PhysicsBackend):
@@ -63,13 +63,14 @@ class DenseMatrixBackend(PhysicsBackend):
                 np.asarray(positions, dtype=float) if positions is not None else None
             )
         self._n = len(distances)
+        # Co-located distinct nodes would have infinite gain; COLOCATED_GAIN
+        # clamps them to a huge finite value so that arithmetic stays well
+        # defined (reception from a co-located node trivially succeeds when
+        # it is the only transmitter).
         with np.errstate(divide="ignore"):
             gains = params.power / np.power(distances, params.alpha)
         np.fill_diagonal(gains, 0.0)
-        # Co-located distinct nodes would have infinite gain; clamp to a huge
-        # finite value so that arithmetic stays well defined (reception from a
-        # co-located node trivially succeeds when it is the only transmitter).
-        gains[np.isinf(gains)] = np.finfo(float).max / (self._n + 1)
+        gains[np.isinf(gains)] = COLOCATED_GAIN
         self._gains = gains
         self._distances = distances
         self._topk: Optional[np.ndarray] = None
@@ -120,6 +121,97 @@ class DenseMatrixBackend(PhysicsBackend):
         return self._gains[np.ix_(senders, receivers)]
 
     # ------------------------------------------------------------------ #
+    # Incremental placement mutation.
+    # ------------------------------------------------------------------ #
+
+    def _require_positions(self, operation: str) -> np.ndarray:
+        if self._positions is None:
+            raise ValueError(
+                f"this backend was built from a distance matrix; {operation} needs coordinates"
+            )
+        return self._positions
+
+    def _gain_rows(self, distances: np.ndarray, row_indices: np.ndarray) -> np.ndarray:
+        """Gain rows from a distance block, with the diagonal/clamp conventions.
+
+        ``distances[i, :]`` are the distances of node ``row_indices[i]`` to
+        all nodes; the self-pair is zeroed before co-located pairs are
+        clamped, exactly as in the constructor.
+        """
+        with np.errstate(divide="ignore"):
+            gains = self._params.power / np.power(distances, self._params.alpha)
+        gains[np.arange(len(row_indices)), row_indices] = 0.0
+        gains[np.isinf(gains)] = COLOCATED_GAIN
+        return gains
+
+    def update_positions(self, indices: np.ndarray, new_xy: np.ndarray) -> None:
+        """Move nodes, recomputing only the touched gain/distance rows and columns.
+
+        Cost is O(m * n) for ``m`` moved nodes (plus an O((K + m) * n) patch
+        of the cached top-K rank table when one exists) instead of the
+        O(n^2) full rebuild -- the speedup
+        ``benchmarks/bench_dynamic_incremental.py`` records.
+        """
+        positions = self._require_positions("update_positions")
+        indices, new_xy = self._check_moves(self._n, indices, new_xy)
+        if not indices.size:
+            return
+        positions[indices] = new_xy
+        diff = positions[indices][:, None, :] - positions[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        self._distances[indices, :] = dist
+        self._distances[:, indices] = dist.T
+        gains = self._gain_rows(dist, indices)
+        self._gains[indices, :] = gains
+        self._gains[:, indices] = gains.T
+        if self._topk is not None:
+            self._patch_topk(indices)
+
+    def add_nodes(self, new_xy: np.ndarray) -> None:
+        """Append nodes: one O(m * n) distance/gain band, no full rebuild."""
+        positions = self._require_positions("add_nodes")
+        new_xy = np.asarray(new_xy, dtype=float).reshape(-1, 2)
+        m = len(new_xy)
+        if m == 0:
+            return
+        old_n, n = self._n, self._n + m
+        grown = np.vstack([positions, new_xy])
+        diff = new_xy[:, None, :] - grown[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        distances = np.empty((n, n))
+        distances[:old_n, :old_n] = self._distances
+        distances[old_n:, :] = dist
+        distances[:, old_n:] = dist.T
+        self._positions = grown
+        self._distances = distances
+        self._n = n
+        gain_band = self._gain_rows(dist, np.arange(old_n, n))
+        gains = np.empty((n, n))
+        gains[:old_n, :old_n] = self._gains
+        gains[old_n:, :] = gain_band
+        gains[:, old_n:] = gain_band.T
+        self._gains = gains
+        # The rank table is rebuilt lazily on the next batched evaluation.
+        self._topk = None
+
+    def remove_nodes(self, indices: np.ndarray) -> None:
+        """Delete nodes and compact the matrices (works for metric-only backends too)."""
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if not indices.size:
+            return
+        if indices.min() < 0 or indices.max() >= self._n:
+            raise ValueError("node index out of range")
+        keep = np.setdiff1d(np.arange(self._n), indices)
+        if not keep.size:
+            raise ValueError("cannot remove every node from a backend")
+        if self._positions is not None:
+            self._positions = self._positions[keep]
+        self._distances = self._distances[np.ix_(keep, keep)]
+        self._gains = self._gains[np.ix_(keep, keep)]
+        self._n = len(keep)
+        self._topk = None
+
+    # ------------------------------------------------------------------ #
     # Columnar schedule evaluation (gemm + top-k fast path).
     # ------------------------------------------------------------------ #
 
@@ -148,11 +240,72 @@ class DenseMatrixBackend(PhysicsBackend):
             # below 1), so tied senders are only ever picked for listeners
             # that fail the threshold anyway.
             k = min(self._TOPK_DEPTH, self._n)
-            part = np.argpartition(-self._gains, k - 1, axis=0)[:k]
-            part_gains = np.take_along_axis(self._gains, part, axis=0)
-            order = np.argsort(-part_gains, axis=0, kind="stable")
-            self._topk = np.take_along_axis(part, order, axis=0)
+            self._topk = self._topk_columns(np.arange(self._n), k)
         return self._topk
+
+    def _topk_columns(self, cols: np.ndarray, k: int) -> np.ndarray:
+        """Exact ``(k, len(cols))`` strongest-sender table for the given listeners."""
+        identity = len(cols) == self._n and bool(np.array_equal(cols, np.arange(self._n)))
+        sub = self._gains if identity else self._gains[:, cols]
+        part = np.argpartition(-sub, k - 1, axis=0)[:k]
+        part_gains = np.take_along_axis(sub, part, axis=0)
+        order = np.argsort(-part_gains, axis=0, kind="stable")
+        return np.take_along_axis(part, order, axis=0)
+
+    def _patch_topk(self, moved: np.ndarray) -> None:
+        """Patch the cached rank table after the nodes in ``moved`` changed position.
+
+        Columns of *moved listeners* are recomputed exactly (every gain in
+        the column changed).  Every other column is patched in place: the
+        moved senders (at their new gains) are merged into the column's
+        retained entries, and any slot that can no longer be proven exact is
+        padded with the weakest provably-exact entry.  The table invariant
+        the fast reception path relies on -- every sender absent from a
+        column is at most as strong as every entry in it -- is preserved:
+
+        * an absent non-moved sender was already outside the exact top-K, so
+          it is bounded by the old K-th gain, which is at most ``gmin`` (the
+          weakest retained non-moved entry);
+        * an absent moved sender was explicitly compared against the kept
+          entries during the merge.
+
+        Padding duplicates an in-table sender, which is harmless to the
+        first-present-in-rank-order winner scan.
+        """
+        topk = self._topk
+        k = topk.shape[0]
+        moved_mask = np.zeros(self._n, dtype=bool)
+        moved_mask[moved] = True
+        keep_cols = np.flatnonzero(~moved_mask)
+        fresh = [moved]
+        if keep_cols.size:
+            # Work listener-major ((c, k + m) row-contiguous arrays): the
+            # per-column sort below is the hot operation and is several times
+            # faster along the last axis.
+            retained = np.ascontiguousarray(topk[:, keep_cols].T)  # (c, k)
+            stale = moved_mask[retained]  # entries whose gain changed under them
+            cand = np.hstack(
+                [retained, np.broadcast_to(moved[None, :], (keep_cols.size, len(moved)))]
+            )
+            cand_gain = self._gains[cand, keep_cols[:, None]]
+            # Old occurrences of moved senders are superseded by the appended
+            # fresh copies; sink them to the bottom of the ordering.
+            cand_gain[:, :k][stale] = -np.inf
+            nonmoved_gain = np.where(stale, np.inf, cand_gain[:, :k])
+            gmin = nonmoved_gain.min(axis=1)
+            # A column whose entries all moved retains no exact anchor.
+            wholly_stale = ~np.isfinite(gmin)
+            order = np.argsort(-cand_gain, axis=1, kind="stable")[:, :k]
+            new_entries = np.take_along_axis(cand, order, axis=1)
+            new_gain = np.take_along_axis(cand_gain, order, axis=1)
+            unsafe = new_gain < gmin[:, None]  # a suffix of each (sorted) row
+            safe_count = k - unsafe.sum(axis=1)
+            pad = new_entries[np.arange(keep_cols.size), np.maximum(safe_count - 1, 0)]
+            topk[:, keep_cols] = np.where(unsafe, pad[:, None], new_entries).T
+            if wholly_stale.any():
+                fresh.append(keep_cols[wholly_stale])
+        fresh_cols = np.concatenate(fresh)
+        topk[:, fresh_cols] = self._topk_columns(fresh_cols, k)
 
     def receptions_table(
         self,

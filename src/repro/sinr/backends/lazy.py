@@ -28,7 +28,7 @@ from typing import Dict
 import numpy as np
 
 from ..model import SINRParameters
-from .base import PhysicsBackend
+from .base import COLOCATED_GAIN, PhysicsBackend
 
 #: Default bound on the memory held by the row cache (bytes).
 DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
@@ -62,8 +62,8 @@ class LazyBlockBackend(PhysicsBackend):
             raise ValueError("positions must be an (n, 2) array")
         self._positions = positions
         self._n = len(positions)
-        row_bytes = 8 * max(1, self._n)
-        self._capacity_rows = max(1, int(cache_bytes) // row_bytes)
+        self._cache_bytes = int(cache_bytes)
+        self._capacity_rows = max(1, self._cache_bytes // (8 * max(1, self._n)))
         self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -103,6 +103,87 @@ class LazyBlockBackend(PhysicsBackend):
         }
 
     # ------------------------------------------------------------------ #
+    # Incremental placement mutation.
+    # ------------------------------------------------------------------ #
+
+    def _resize_cache(self) -> None:
+        """Re-derive the row capacity after ``n`` changed; evict any overflow."""
+        self._capacity_rows = max(1, self._cache_bytes // (8 * max(1, self._n)))
+        while len(self._cache) > self._capacity_rows:
+            self._cache.popitem(last=False)
+
+    def _gains_to(self, senders: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gains from each cached ``sender`` to the ``targets`` positions only.
+
+        Callers guarantee no self-pairs (the senders' own rows were evicted
+        or the targets are new nodes), so only the co-located clamp applies.
+        """
+        diff = self._positions[senders][:, None, :] - self._positions[targets][None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        with np.errstate(divide="ignore"):
+            gains = self._params.power / np.power(dist, self._params.alpha)
+        gains[np.isinf(gains)] = COLOCATED_GAIN
+        return gains
+
+    def update_positions(self, indices: np.ndarray, new_xy: np.ndarray) -> None:
+        """Move nodes: evict the moved senders' rows, patch the moved columns.
+
+        Only the cache entries the move actually touches are recomputed --
+        the rows *of* moved senders are dropped (they changed entirely) and
+        the entries *towards* moved nodes inside the surviving rows are
+        overwritten in place, so a mostly-static cache stays warm across
+        epochs.
+        """
+        indices, new_xy = self._check_moves(self._n, indices, new_xy)
+        if not indices.size:
+            return
+        self._positions[indices] = new_xy
+        for sender in indices:
+            self._cache.pop(int(sender), None)
+        if self._cache:
+            senders = np.fromiter(self._cache.keys(), dtype=np.int64, count=len(self._cache))
+            patch = self._gains_to(senders, indices)
+            for i, sender in enumerate(senders):
+                self._cache[int(sender)][indices] = patch[i]
+
+    def add_nodes(self, new_xy: np.ndarray) -> None:
+        """Append nodes; surviving cached rows grow a freshly computed tail."""
+        new_xy = np.asarray(new_xy, dtype=float).reshape(-1, 2)
+        m = len(new_xy)
+        if m == 0:
+            return
+        old_n = self._n
+        self._positions = np.vstack([self._positions, new_xy])
+        self._n = old_n + m
+        if self._cache:
+            senders = np.fromiter(self._cache.keys(), dtype=np.int64, count=len(self._cache))
+            tails = self._gains_to(senders, np.arange(old_n, self._n))
+            for i, sender in enumerate(senders):
+                self._cache[int(sender)] = np.concatenate([self._cache[int(sender)], tails[i]])
+        self._resize_cache()
+
+    def remove_nodes(self, indices: np.ndarray) -> None:
+        """Delete nodes; cached rows are compacted and re-keyed to the new indices."""
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if not indices.size:
+            return
+        if indices.min() < 0 or indices.max() >= self._n:
+            raise ValueError("node index out of range")
+        keep = np.setdiff1d(np.arange(self._n), indices)
+        if not keep.size:
+            raise ValueError("cannot remove every node from a backend")
+        new_index = np.full(self._n, -1, dtype=np.int64)
+        new_index[keep] = np.arange(len(keep))
+        self._positions = self._positions[keep]
+        self._n = len(keep)
+        survivors: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        for sender, row in self._cache.items():
+            if new_index[sender] >= 0:
+                survivors[int(new_index[sender])] = row[keep]
+        self._cache = survivors
+        self._resize_cache()
+
+    # ------------------------------------------------------------------ #
     # Row computation and caching.
     # ------------------------------------------------------------------ #
 
@@ -116,7 +197,7 @@ class LazyBlockBackend(PhysicsBackend):
         # Same conventions as the dense matrix: zero self-gain first, then
         # clamp co-located distinct pairs to a huge finite value.
         gains[np.arange(len(senders)), senders] = 0.0
-        gains[np.isinf(gains)] = np.finfo(float).max / (self._n + 1)
+        gains[np.isinf(gains)] = COLOCATED_GAIN
         return gains
 
     def _rows(self, senders: np.ndarray) -> np.ndarray:

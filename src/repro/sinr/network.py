@@ -14,6 +14,16 @@ The distributed algorithms in :mod:`repro.core` receive a network instance
 but only ever use the public, knowledge-respecting API (IDs, ``id_space``,
 ``delta_bound``, ``params``) plus the simulator built on top of it; geometry
 accessors are reserved for deployment code, tests and analysis.
+
+Networks are no longer frozen at construction: :meth:`WirelessNetwork.move_nodes`,
+:meth:`~WirelessNetwork.add_nodes` and :meth:`~WirelessNetwork.remove_nodes`
+are the *single* mutation API for time-varying scenarios
+(:mod:`repro.dynamics`).  Every mutation updates the physics backend
+incrementally and routes through ``_invalidate_geometry_caches()``, so the
+cached communication graph, uid lookup table and measured density bound can
+never serve stale answers.  A :class:`~repro.simulation.engine.SINRSimulator`
+snapshots the placement at construction -- build a fresh simulator after
+mutating (the epoch runner does exactly that).
 """
 
 from __future__ import annotations
@@ -98,10 +108,14 @@ class WirelessNetwork:
         self._id_space = int(id_space)
         self._uid_lookup: Optional[np.ndarray] = None
         self._physics = make_backend(backend, positions, self._params)
-        self._graph = self._build_communication_graph()
-        if delta_bound is None:
-            delta_bound = max(1, unit_ball_density(positions, radius=self._params.transmission_range))
-        self._delta_bound = int(delta_bound)
+        # Geometry-derived state is cached lazily and invalidated by every
+        # placement mutation (see _invalidate_geometry_caches).
+        self._graph: Optional[nx.Graph] = None
+        # A user-supplied Delta stays in force across mutations (it is shared
+        # *knowledge*, not a measurement); a measured one is re-measured
+        # lazily whenever the placement changes.
+        self._delta_bound_fixed = delta_bound is not None
+        self._delta_bound: Optional[int] = int(delta_bound) if delta_bound is not None else None
 
     # ------------------------------------------------------------------ #
     # Knowledge shared by all nodes (what protocols may consult).
@@ -120,6 +134,10 @@ class WirelessNetwork:
     @property
     def delta_bound(self) -> int:
         """The bound ``Delta`` on density/degree, known to every node."""
+        if self._delta_bound is None:
+            self._delta_bound = max(
+                1, unit_ball_density(self._positions, radius=self._params.transmission_range)
+            )
         return self._delta_bound
 
     @property
@@ -207,20 +225,27 @@ class WirelessNetwork:
 
     @property
     def communication_graph(self) -> nx.Graph:
-        """The communication graph on node IDs (edges at distance <= 1 - eps)."""
+        """The communication graph on node IDs (edges at distance <= 1 - eps).
+
+        Built lazily and cached; every placement mutation invalidates the
+        cache, so the graph (and everything derived from it: degrees, BFS
+        layers, diameter) always reflects the current positions.
+        """
+        if self._graph is None:
+            self._graph = self._build_communication_graph()
         return self._graph
 
     def neighbors(self, uid: int) -> List[int]:
         """IDs of the communication-graph neighbours of ``uid``."""
-        return sorted(self._graph.neighbors(uid))
+        return sorted(self.communication_graph.neighbors(uid))
 
     def degree(self, uid: int) -> int:
         """Communication-graph degree of node ``uid``."""
-        return int(self._graph.degree[uid])
+        return int(self.communication_graph.degree[uid])
 
     def max_degree(self) -> int:
         """Largest degree in the communication graph."""
-        return max((d for _, d in self._graph.degree()), default=0)
+        return max((d for _, d in self.communication_graph.degree()), default=0)
 
     def density(self) -> int:
         """Unit-ball density of the placement (the paper's Gamma)."""
@@ -228,7 +253,7 @@ class WirelessNetwork:
 
     def is_connected(self) -> bool:
         """Whether the communication graph is connected."""
-        return nx.is_connected(self._graph) if self.size > 1 else True
+        return nx.is_connected(self.communication_graph) if self.size > 1 else True
 
     def diameter_hops(self, source_uid: Optional[int] = None) -> int:
         """Hop diameter of the communication graph (eccentricity of ``source_uid``).
@@ -239,16 +264,124 @@ class WirelessNetwork:
         """
         if self.size == 1:
             return 0
+        graph = self.communication_graph
         if source_uid is not None:
-            lengths = nx.single_source_shortest_path_length(self._graph, source_uid)
+            lengths = nx.single_source_shortest_path_length(graph, source_uid)
             return max(lengths.values())
-        if not nx.is_connected(self._graph):
+        if not nx.is_connected(graph):
             raise ValueError("diameter of a disconnected communication graph is undefined")
-        return nx.diameter(self._graph)
+        return nx.diameter(graph)
 
     def bfs_layers(self, source_uid: int) -> Dict[int, int]:
         """Hop distance from ``source_uid`` to every reachable node (by ID)."""
-        return dict(nx.single_source_shortest_path_length(self._graph, source_uid))
+        return dict(nx.single_source_shortest_path_length(self.communication_graph, source_uid))
+
+    # ------------------------------------------------------------------ #
+    # Placement mutation (dynamic networks) -- the single mutation API.
+    # ------------------------------------------------------------------ #
+
+    def _invalidate_geometry_caches(self) -> None:
+        """Drop every cache derived from the placement or the uid set.
+
+        All mutation routes through here; anything cached from geometry
+        (communication graph and its BFS/diameter/degree derivatives, the
+        measured density bound, the uid->index translation table) is rebuilt
+        lazily on next access instead of serving stale answers.
+        """
+        self._graph = None
+        self._uid_lookup = None
+        if not self._delta_bound_fixed:
+            self._delta_bound = None
+
+    def move_nodes(self, uids: Iterable[int], new_positions: Sequence[Sequence[float]]) -> None:
+        """Move the given nodes to new coordinates.
+
+        The physics backend is updated *incrementally* (only the gain
+        rows/columns of the moved nodes are recomputed) and all geometry
+        caches are invalidated.  Simulators built before the move keep
+        executing on the old wake/uid snapshot -- build a new one per epoch.
+        """
+        uid_list = [int(u) for u in uids]
+        new_xy = np.asarray(new_positions, dtype=float).reshape(-1, 2)
+        if len(uid_list) != len(new_xy):
+            raise ValueError("uids and new_positions must have matching lengths")
+        if not uid_list:
+            return
+        indices = self.indices_of(uid_list)
+        self._physics.update_positions(indices, new_xy)
+        self._positions[indices] = new_xy
+        for i, index in enumerate(indices):
+            self._nodes[index].position = (float(new_xy[i, 0]), float(new_xy[i, 1]))
+        self._invalidate_geometry_caches()
+
+    def add_nodes(
+        self,
+        positions: Sequence[Sequence[float]],
+        uids: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Append nodes at the given coordinates; returns their assigned uids.
+
+        Fresh uids default to the smallest unused identifiers above the
+        current maximum.  If an assigned uid exceeds the ID-space bound
+        ``N``, the bound grows to fit -- joins are global knowledge in the
+        dynamic setting (every epoch re-runs the algorithm under the current
+        ``N``).
+        """
+        new_xy = np.asarray(positions, dtype=float).reshape(-1, 2)
+        m = len(new_xy)
+        if m == 0:
+            return []
+        if uids is None:
+            start = int(self._uid_array.max()) + 1
+            uid_list = list(range(start, start + m))
+        else:
+            uid_list = [int(u) for u in uids]
+            if len(uid_list) != m:
+                raise ValueError("number of uids must match number of positions")
+            if len(set(uid_list)) != m or any(u in self._uid_to_index for u in uid_list):
+                raise ValueError("node IDs must be unique")
+            if min(uid_list) <= 0:
+                raise ValueError("node IDs must be positive")
+        old_n = self.size
+        self._physics.add_nodes(new_xy)
+        self._positions = np.vstack([self._positions, new_xy])
+        for i, uid in enumerate(uid_list):
+            node = Node(
+                uid=uid,
+                index=old_n + i,
+                position=(float(new_xy[i, 0]), float(new_xy[i, 1])),
+            )
+            self._nodes.append(node)
+            self._uid_to_index[uid] = node.index
+        self._uid_array = np.concatenate([self._uid_array, np.array(uid_list, dtype=int)])
+        self._id_space = max(self._id_space, max(uid_list))
+        self._invalidate_geometry_caches()
+        return uid_list
+
+    def remove_nodes(self, uids: Iterable[int]) -> None:
+        """Delete the given nodes (crashes); remaining nodes are re-indexed.
+
+        At least one node must survive.  Dense indices are compacted, so any
+        index previously handed out (schedules, simulators) is stale after
+        this call -- which is why the epoch runner rebuilds per epoch.
+        """
+        uid_list = [int(u) for u in uids]
+        if not uid_list:
+            return
+        indices = self.indices_of(uid_list)
+        if len(np.unique(indices)) != len(indices):
+            raise ValueError("uids must be duplicate-free")
+        if len(indices) >= self.size:
+            raise ValueError("cannot remove every node from a network")
+        keep = np.setdiff1d(np.arange(self.size), indices)
+        self._physics.remove_nodes(indices)
+        self._positions = self._positions[keep]
+        self._nodes = [self._nodes[int(i)] for i in keep]
+        for new_index, node in enumerate(self._nodes):
+            node.index = new_index
+        self._uid_to_index = {node.uid: node.index for node in self._nodes}
+        self._uid_array = self._uid_array[keep]
+        self._invalidate_geometry_caches()
 
     # ------------------------------------------------------------------ #
     # Cluster bookkeeping helpers (used by algorithms to publish results

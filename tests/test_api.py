@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import api
-from repro.api import AlgorithmSpec, DeploymentSpec, RunSpec
+from repro.api import AlgorithmSpec, DeploymentSpec, DynamicsSpec, MobilitySpec, RunSpec
 from repro.core import AlgorithmConfig
 
 
@@ -98,6 +98,78 @@ class TestSpecs:
             tags=tags,
         )
         assert RunSpec.from_json(spec.to_json()) == spec
+
+    @given(
+        mobility=st.sampled_from(["waypoint", "drift", "convoy", "static"]),
+        fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        epochs=st.integers(min_value=1, max_value=64),
+        crash=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        dyn_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dynamics_round_trip_property(self, mobility, fraction, epochs, crash, dyn_seed):
+        spec = RunSpec(
+            deployment=DeploymentSpec("uniform", {"nodes": 10}),
+            algorithm=AlgorithmSpec("cluster"),
+            dynamics=DynamicsSpec(
+                mobility=MobilitySpec(mobility, {"fraction": fraction}),
+                epochs=epochs,
+                events={"crash_prob": crash} if crash else {},
+                seed=dyn_seed,
+            ),
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+        assert json.loads(spec.to_json())["dynamics"]["mobility"]["kind"] == mobility
+
+    def test_dynamics_spec_validation(self):
+        with pytest.raises(TypeError, match="MobilitySpec"):
+            DynamicsSpec(mobility="waypoint")
+        with pytest.raises(ValueError, match="epochs"):
+            DynamicsSpec(mobility=MobilitySpec("static"), epochs=0)
+        with pytest.raises(TypeError, match="DynamicsSpec"):
+            RunSpec(DeploymentSpec("line"), AlgorithmSpec("cluster"), dynamics="nope")
+
+    def test_pre_dynamics_json_blobs_round_trip_bit_identically(self):
+        """A RunSpec JSON artifact emitted before the dynamics field existed
+        (no "dynamics" key) must re-serialize to the exact same bytes."""
+        legacy_blob = (
+            '{\n'
+            '  "algorithm": {\n'
+            '    "name": "global-broadcast",\n'
+            '    "overrides": {\n'
+            '      "kappa": 5\n'
+            '    },\n'
+            '    "params": {\n'
+            '      "source": 3\n'
+            '    },\n'
+            '    "preset": "default"\n'
+            '  },\n'
+            '  "deployment": {\n'
+            '    "backend": "lazy",\n'
+            '    "kind": "uniform",\n'
+            '    "params": {\n'
+            '      "area": 2.0,\n'
+            '      "nodes": 12\n'
+            '    },\n'
+            '    "seed": 5\n'
+            '  },\n'
+            '  "tags": {\n'
+            '    "purpose": "test"\n'
+            '  }\n'
+            '}'
+        )
+        spec = RunSpec.from_json(legacy_blob)
+        assert spec.dynamics is None
+        assert spec.to_json() == legacy_blob
+
+    def test_with_dynamics_attaches_and_detaches(self):
+        spec = tiny_spec()
+        dynamics = DynamicsSpec(mobility=MobilitySpec("drift", {"sigma": 0.1}), epochs=2)
+        dynamic = spec.with_dynamics(dynamics)
+        assert dynamic.dynamics == dynamics
+        assert dynamic.deployment == spec.deployment
+        assert "dynamics" in dynamic.to_dict()
+        assert dynamic.with_dynamics(None) == spec
 
 
 # --------------------------------------------------------------------- #
@@ -193,6 +265,18 @@ class TestRun:
             api.run(RunSpec(DeploymentSpec("torus"), AlgorithmSpec("cluster")))
         with pytest.raises(KeyError, match="unknown algorithm"):
             api.run(RunSpec(DeploymentSpec("line"), AlgorithmSpec("nope")))
+
+    def test_static_executor_refuses_dynamic_specs(self):
+        """run()/run_many() must not silently drop a spec's dynamics block."""
+        dynamic = tiny_spec().with_dynamics(
+            DynamicsSpec(mobility=MobilitySpec("static"), epochs=2)
+        )
+        with pytest.raises(ValueError, match="run_dynamic"):
+            api.run(dynamic)
+        with pytest.raises(ValueError, match="run_dynamic"):
+            api.run_many(dynamic, seeds=[0, 1], parallel=False)
+        # Stripping the block opts back in to a static run of the placement.
+        assert api.run(dynamic.with_dynamics(None)).rounds["total"] > 0
 
 
 class TestRunMany:

@@ -174,11 +174,14 @@ class TestListCommand:
         assert code == 0
         assert "deployments:" in output
         assert "algorithms:" in output
+        assert "mobility models:" in output
         assert "physics backends:" in output
         assert "config presets:" in output
         for name in ["uniform", "hotspots", "strip", "line", "ring"]:
             assert name in output
         for name in ["cluster", "local-broadcast", "global-broadcast", "leader-election", "gadget"]:
+            assert name in output
+        for name in ["waypoint", "drift", "convoy", "static"]:
             assert name in output
         assert "dense" in output and "lazy" in output
         assert "fast" in output and "faithful" in output
@@ -205,6 +208,11 @@ class TestSpecWorkflow:
             ["global-broadcast", "--deployment", "strip", "--hops", "3", "--source", "2"],
             ["leader-election", "--deployment", "ring", "--nodes", "12", "--preset", "default"],
             ["gadget", "--delta", "5"],
+            [
+                "dynamic", "--deployment", "uniform", "--nodes", "10",
+                "--mobility", "waypoint", "--epochs", "3",
+                "--crash-prob", "0.05", "--dynamics-seed", "4",
+            ],
         ]
         for argv in commands:
             code = main(argv + ["--dump-spec"])
@@ -238,6 +246,76 @@ class TestSpecWorkflow:
         data = json.loads(out_path.read_text())
         assert len(data["results"]) == 3
         assert [r["spec"]["deployment"]["seed"] for r in data["results"]] == [0, 1, 2]
+
+
+class TestDynamicCommand:
+    ARGV = [
+        "dynamic", "--deployment", "uniform", "--nodes", "16", "--seed", "2",
+        "--mobility", "drift", "--move-fraction", "0.5", "--epochs", "3",
+        "--crash-prob", "0.1", "--join-prob", "0.1", "--dynamics-seed", "6",
+    ]
+
+    def test_dynamic_command_golden_lines(self, capsys):
+        code = main(list(self.ARGV))
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "cluster on uniform under drift x 3 epochs" in output
+        assert "epochs: 3" in output
+        assert "population min/final/max:" in output
+        assert "events: moved=" in output
+        assert "all checks pass: True" in output
+
+    def test_dynamic_command_is_byte_identical_across_invocations(self, capsys):
+        main(list(self.ARGV))
+        first = capsys.readouterr().out
+        main(list(self.ARGV))
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_dynamic_command_writes_epochset_json(self, tmp_path, capsys):
+        out_path = tmp_path / "trajectory.json"
+        code = main(list(self.ARGV) + ["--output", str(out_path)])
+        capsys.readouterr()
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert len(data["epochs"]) == 3
+        assert data["summary"]["all_checks_pass"] is True
+        spec = RunSpec.from_dict(data["spec"])
+        assert spec.dynamics is not None and spec.dynamics.mobility.kind == "drift"
+
+    def test_dynamic_command_static_mobility(self, capsys):
+        code = main([
+            "dynamic", "--deployment", "line", "--nodes", "6",
+            "--mobility", "static", "--epochs", "2", "--algorithm", "local-broadcast-tdma",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "moved=0" in output
+
+    def test_dynamic_rejects_standalone_algorithms(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dynamic", "--algorithm", "gadget"])
+        capsys.readouterr()
+
+    def test_run_command_dispatches_dynamic_specs(self, tmp_path, capsys):
+        """`repro-sim run` on a spec with a dynamics block runs the epoch
+        loop -- it must not silently execute the spec statically."""
+        spec_path = tmp_path / "dyn.json"
+        main([
+            "dynamic", "--deployment", "line", "--nodes", "6",
+            "--mobility", "drift", "--epochs", "2", "--dump-spec",
+        ])
+        spec_path.write_text(capsys.readouterr().out)
+        code = main(["run", "--spec", str(spec_path)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "under drift x 2 epochs" in output
+        assert "epochs: 2" in output
+        # A dynamic spec is one trajectory: a multi-seed ensemble is refused.
+        code = main(["run", "--spec", str(spec_path), "--seeds", "1,2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "at most one seed" in captured.err
 
 
 class TestShims:

@@ -1,0 +1,291 @@
+"""Tests for the dynamics subsystem (repro.dynamics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.dynamics import (
+    MOBILITY,
+    ChurnProcess,
+    ConvoyRotation,
+    EpochResult,
+    EpochSet,
+    EventTimeline,
+    RandomWaypoint,
+    ScriptedEvents,
+    run_epochs,
+)
+from repro.sinr import deployment
+
+
+def dynamic_spec(
+    algorithm: str = "cluster",
+    mobility: str = "drift",
+    mobility_params=None,
+    epochs: int = 3,
+    events=None,
+    seed: int = 7,
+    nodes: int = 24,
+) -> api.RunSpec:
+    return api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": nodes, "area": 2.5}, seed=1),
+        algorithm=api.AlgorithmSpec(algorithm, preset="fast"),
+        dynamics=api.DynamicsSpec(
+            mobility=api.MobilitySpec(mobility, mobility_params or {}),
+            epochs=epochs,
+            events=events or {},
+            seed=seed,
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Mobility models.
+# --------------------------------------------------------------------- #
+
+
+class TestMobilityModels:
+    def test_builtins_are_registered(self):
+        for name in ["waypoint", "drift", "convoy", "static"]:
+            assert name in MOBILITY
+
+    def test_models_are_seed_deterministic(self):
+        for kind in ["waypoint", "drift", "convoy"]:
+            moves = []
+            for _ in range(2):
+                network = deployment.uniform_random(20, area_side=2.0, seed=3)
+                rng = np.random.default_rng(5)
+                model = MOBILITY.get(kind)()
+                model.reset(network, rng)
+                indices, new_xy = model.step(network, rng, epoch=1)
+                moves.append((indices.copy(), new_xy.copy()))
+            assert np.array_equal(moves[0][0], moves[1][0]), kind
+            assert np.array_equal(moves[0][1], moves[1][1]), kind
+
+    def test_fraction_limits_the_move_set(self):
+        network = deployment.uniform_random(40, area_side=2.0, seed=3)
+        rng = np.random.default_rng(0)
+        model = MOBILITY.get("drift")(fraction=0.25)
+        indices, new_xy = model.step(network, rng, epoch=1)
+        assert len(indices) == 10 == len(new_xy)
+        assert len(np.unique(indices)) == 10
+
+    def test_waypoint_moves_at_most_speed_and_stays_in_box(self):
+        network = deployment.uniform_random(30, area_side=2.0, seed=2)
+        rng = np.random.default_rng(1)
+        model = RandomWaypoint(speed=0.2)
+        model.reset(network, rng)
+        lo, hi = network.positions.min(axis=0), network.positions.max(axis=0)
+        for epoch in range(1, 6):
+            indices, new_xy = model.step(network, rng, epoch)
+            step = np.linalg.norm(new_xy - network.positions[indices], axis=1)
+            assert (step <= 0.2 + 1e-9).all()
+            assert (new_xy >= lo - 1e-9).all() and (new_xy <= hi + 1e-9).all()
+            network.move_nodes(network.uid_array[indices], new_xy)
+
+    def test_convoy_rotation_is_rigid(self):
+        network = deployment.two_hop_clusters(4, 5, seed=4)
+        rng = np.random.default_rng(0)
+        model = ConvoyRotation(omega=np.pi / 7)
+        model.reset(network, rng)
+        before = network.physics.gain_block(np.arange(20), np.arange(20)).copy()
+        indices, new_xy = model.step(network, rng, epoch=1)
+        network.move_nodes(network.uid_array[indices], new_xy)
+        after = network.physics.gain_block(np.arange(20), np.arange(20))
+        # A rigid rotation preserves pairwise distances, hence all gains.
+        np.testing.assert_allclose(after, before, rtol=1e-9)
+
+    def test_static_model_never_moves(self):
+        network = deployment.uniform_random(10, area_side=2.0, seed=0)
+        indices, new_xy = MOBILITY.get("static")().step(
+            network, np.random.default_rng(0), epoch=1
+        )
+        assert len(indices) == 0 and len(new_xy) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="speed"):
+            RandomWaypoint(speed=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            MOBILITY.get("drift")(fraction=1.5).step(
+                deployment.line(3), np.random.default_rng(0), 1
+            )
+
+
+# --------------------------------------------------------------------- #
+# Event timelines.
+# --------------------------------------------------------------------- #
+
+
+class TestEventTimelines:
+    def test_churn_is_seed_deterministic(self):
+        histories = []
+        for _ in range(2):
+            network = deployment.uniform_random(30, area_side=2.5, seed=6)
+            rng = np.random.default_rng(9)
+            process = ChurnProcess(crash_prob=0.1, join_prob=0.1, sleep_prob=0.1, sleep_epochs=1)
+            process.reset(network, rng)
+            history = [process.apply(network, rng, epoch) for epoch in range(1, 5)]
+            histories.append([(e.crashed, e.joined, e.slept, e.woke) for e in history])
+        assert histories[0] == histories[1]
+
+    def test_sleepers_rejoin_with_same_uid_and_position(self):
+        network = deployment.uniform_random(12, area_side=2.0, seed=0)
+        rng = np.random.default_rng(42)
+        process = ChurnProcess(sleep_prob=0.5, sleep_epochs=1, min_nodes=2)
+        process.reset(network, rng)
+        slept_positions = {}
+        events = process.apply(network, rng, epoch=1)
+        for uid in events.slept:
+            assert uid not in network.uids
+        slept_positions.update(
+            {s.uid: s.position for s in process._sleepers}
+        )
+        woken = process.apply(network, rng, epoch=2).woke
+        assert set(woken) == set(slept_positions)
+        for uid in woken:
+            # A woken node may immediately re-sleep in the same epoch's
+            # sampling; position is only observable while it is live.
+            if uid in network.uids:
+                assert network.position_of(uid) == slept_positions[uid]
+
+    def test_churn_never_drops_below_min_nodes(self):
+        network = deployment.uniform_random(8, area_side=2.0, seed=0)
+        rng = np.random.default_rng(0)
+        process = ChurnProcess(crash_prob=1.0, min_nodes=3)
+        process.reset(network, rng)
+        for epoch in range(1, 5):
+            process.apply(network, rng, epoch)
+            assert network.size >= 3
+
+    def test_joins_never_reuse_a_sleeping_uid(self):
+        network = deployment.uniform_random(15, area_side=2.0, seed=0)
+        rng = np.random.default_rng(3)
+        process = ChurnProcess(join_prob=0.4, sleep_prob=0.4, sleep_epochs=3, min_nodes=2)
+        process.reset(network, rng)
+        for epoch in range(1, 8):
+            process.apply(network, rng, epoch)
+            live = set(network.uids)
+            parked = {s.uid for s in process._sleepers}
+            assert not live & parked
+
+    def test_scripted_events_apply_exactly(self):
+        network = deployment.uniform_random(10, area_side=2.0, seed=0)
+        victim = network.uids[3]
+        script = ScriptedEvents(
+            crashes={1: [victim]},
+            joins={2: [(0.5, 0.5), (1.0, 1.0)]},
+        )
+        rng = np.random.default_rng(0)
+        events = script.apply(network, rng, epoch=1)
+        assert events.crashed == (victim,) and network.size == 9
+        events = script.apply(network, rng, epoch=2)
+        assert len(events.joined) == 2 and network.size == 11
+        assert script.apply(network, rng, epoch=3) == type(events)()
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError, match="crash_prob"):
+            ChurnProcess(crash_prob=1.5)
+        with pytest.raises(ValueError, match="sleep_epochs"):
+            ChurnProcess(sleep_epochs=0)
+
+
+# --------------------------------------------------------------------- #
+# Epoch runner and EpochSet.
+# --------------------------------------------------------------------- #
+
+
+class TestEpochRunner:
+    def test_runs_every_epoch_and_is_deterministic(self):
+        spec = dynamic_spec(epochs=4, events={"crash_prob": 0.05, "join_prob": 0.05})
+        a = run_epochs(spec)
+        b = api.run_dynamic(spec)  # executor wrapper, same loop
+        assert len(a) == 4
+        assert list(a.epochs) == [0, 1, 2, 3]
+        assert a.payload() == b.payload()
+
+    def test_epoch_zero_matches_the_static_run(self):
+        spec = dynamic_spec(epochs=1, mobility="static")
+        static = api.run(spec.with_dynamics(None))
+        trajectory = run_epochs(spec)
+        first = trajectory.results[0]
+        assert first.rounds == static.rounds
+        assert first.checks == static.checks
+
+    def test_population_tracks_churn(self):
+        spec = dynamic_spec(
+            epochs=5, mobility="static", events={"crash_prob": 0.2}, nodes=30
+        )
+        trajectory = run_epochs(spec)
+        population = trajectory.metric("n")
+        assert population[0] == 30
+        assert (np.diff(population) <= 0).all()
+        assert trajectory.event_counts("crashed").sum() == 30 - population[-1]
+
+    def test_checks_survive_mobility(self):
+        spec = dynamic_spec(
+            algorithm="local-broadcast-tdma", mobility="waypoint",
+            mobility_params={"speed": 0.3, "fraction": 0.5}, epochs=3,
+        )
+        trajectory = run_epochs(spec)
+        assert trajectory.rounds().min() > 0
+
+    def test_requires_dynamics_block_and_non_standalone(self):
+        static = dynamic_spec().with_dynamics(None)
+        with pytest.raises(ValueError, match="dynamics block"):
+            run_epochs(static)
+        gadget = api.RunSpec(
+            deployment=api.DeploymentSpec("none"),
+            algorithm=api.AlgorithmSpec("gadget"),
+            dynamics=api.DynamicsSpec(mobility=api.MobilitySpec("static")),
+        )
+        with pytest.raises(ValueError, match="standalone"):
+            run_epochs(gadget)
+
+    def test_unknown_mobility_fails_helpfully(self):
+        spec = dynamic_spec(mobility="teleport")
+        with pytest.raises(KeyError, match="unknown mobility model 'teleport'.*waypoint"):
+            run_epochs(spec)
+
+
+class TestEpochSet:
+    def test_summary_and_json_round_trip(self):
+        trajectory = run_epochs(dynamic_spec(epochs=3))
+        summary = trajectory.summary()
+        assert summary["epochs"] == 3
+        assert summary["rounds"]["total"]["min"] <= summary["rounds"]["total"]["max"]
+        import json
+
+        data = json.loads(trajectory.to_json())
+        assert len(data["epochs"]) == 3
+        assert api.RunSpec.from_dict(data["spec"]) == trajectory.spec
+
+    def test_unknown_column_lists_available(self):
+        trajectory = run_epochs(dynamic_spec(epochs=2))
+        with pytest.raises(KeyError, match="available: total"):
+            trajectory.rounds("bogus")
+        with pytest.raises(KeyError, match="moved"):
+            trajectory.event_counts("bogus")
+
+    def test_empty_epoch_set_refuses_vacuous_aggregates(self):
+        empty = EpochSet(spec=dynamic_spec(), results=[])
+        with pytest.raises(ValueError, match="zero epochs"):
+            empty.summary()
+        with pytest.raises(ValueError, match="zero epochs"):
+            empty.all_checks_pass()
+        repr(empty)  # repr must not raise on the degenerate set
+
+    def test_epoch_result_payload_excludes_timing(self):
+        result = EpochResult(
+            epoch=0, rounds={"total": 5}, checks={}, metrics={"n": 3.0},
+            events={"moved": 0}, elapsed=1.23,
+        )
+        assert "elapsed" not in result.payload()
+        assert result.to_dict()["elapsed"] == 1.23
+
+    def test_base_timeline_is_a_no_op(self):
+        network = deployment.line(4)
+        events = EventTimeline().apply(network, np.random.default_rng(0), 1)
+        assert events.counts() == {"crashed": 0, "joined": 0, "slept": 0, "woke": 0}
+        assert network.size == 4

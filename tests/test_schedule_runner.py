@@ -217,4 +217,7 @@ class TestMetrics:
         summary = summarize_samples(samples)
         assert summary["rounds"] == pytest.approx(15.0)
         assert summary["messages_sent"] == pytest.approx(10.0)
-        assert summarize_samples([])["rounds"] == 0.0
+
+    def test_summarize_samples_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            summarize_samples([])
