@@ -1,0 +1,192 @@
+"""Store-cache benchmark: warm re-runs of a grid vs cold execution.
+
+The tentpole claim of :mod:`repro.store`: executing a grid of specs with a
+content-addressed store makes the second (warm) pass near-instant -- every
+cell is loaded from disk instead of simulated -- while remaining
+**bit-identical** to the cold pass (every ``RunResult.payload()`` compares
+equal; the assertion runs before any timing is trusted).
+
+The grid spans deployments x algorithms x seeds (>= 24 cells in full mode),
+executed serially in both passes so the measured ratio is store-load vs
+simulate, not pool scheduling.  The acceptance gate (full mode) is a >= 10x
+warm-over-cold speedup; measurements go to ``BENCH_store_cache.json``.
+
+A resumption leg interrupts the cold pass halfway (by running only half the
+grid first), then completes it: the completed pass must execute exactly the
+missing half, which is what makes interrupted sweeps restartable.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_store_cache.py
+    PYTHONPATH=src python benchmarks/bench_store_cache.py --quick --store ./bench-store
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import api
+from repro.store import ExperimentStore
+
+
+def build_grid(quick: bool) -> List[api.RunSpec]:
+    """The benchmark grid: deployments x algorithms x seeds (>= 24 cells)."""
+    if quick:
+        deployments = [
+            api.DeploymentSpec("uniform", {"nodes": 16, "area": 2.2}),
+            api.DeploymentSpec("hotspots", {"nodes": 18, "hotspots": 3}),
+        ]
+        algorithms = ["cluster", "local-broadcast"]
+        seeds = range(6)
+    else:
+        deployments = [
+            api.DeploymentSpec("uniform", {"nodes": 40, "area": 3.0}),
+            api.DeploymentSpec("hotspots", {"nodes": 36, "hotspots": 3}),
+            api.DeploymentSpec("ring", {"nodes": 30, "clusters": 5}),
+        ]
+        algorithms = ["cluster", "local-broadcast"]
+        seeds = range(4)
+    grid = []
+    for deployment in deployments:
+        for algorithm in algorithms:
+            for seed in seeds:
+                grid.append(
+                    api.RunSpec(
+                        deployment=deployment.with_seed(seed),
+                        algorithm=api.AlgorithmSpec(algorithm, preset="fast"),
+                        tags={"bench": "store-cache"},
+                    )
+                )
+    return grid
+
+
+def bench_grid(grid: List[api.RunSpec], store: ExperimentStore) -> Dict[str, float]:
+    """Cold pass (computes + persists), warm pass (loads), equality check."""
+    start = time.perf_counter()
+    cold = api.run_grid(grid, store=store, cache="refresh", parallel=False)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = api.run_grid(grid, store=store, cache="reuse", parallel=False)
+    warm_s = time.perf_counter() - start
+
+    assert all(not r.cached for r in cold), "cold pass must execute every cell"
+    assert all(r.cached for r in warm), "warm pass must load every cell"
+    mismatches = sum(
+        1 for a, b in zip(cold, warm) if a.payload() != b.payload()
+    )
+    assert mismatches == 0, f"{mismatches} warm cells diverged from cold execution"
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / max(warm_s, 1e-9),
+        "bit_identical": True,
+    }
+
+
+def bench_resume(grid: List[api.RunSpec], store: ExperimentStore) -> Dict[str, float]:
+    """Interrupted-sweep leg: half the grid first, then the full grid."""
+    for key in list(store.keys()):
+        store.remove(key)
+    half = len(grid) // 2
+    api.run_grid(grid[:half], store=store, parallel=False)
+
+    start = time.perf_counter()
+    completed = api.run_grid(grid, store=store, parallel=False)
+    resume_s = time.perf_counter() - start
+    executed = sum(1 for r in completed if not r.cached)
+    assert executed == len(grid) - half, (
+        f"resume executed {executed} cells, expected {len(grid) - half}"
+    )
+    return {"resume_s": resume_s, "resumed_cells": executed, "reused_cells": half}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed-count", type=int, default=None, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: smaller deployments; the speedup is recorded but "
+        "not gated on (shared CI runners are too noisy for wall-clock "
+        "gates); bit-identity and resume-accounting still fail loudly",
+    )
+    parser.add_argument(
+        "--store", type=Path, default=None,
+        help="keep the artifact store at this path (default: a temp dir, "
+        "removed afterwards); CI passes this to archive the manifests",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_store_cache.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+
+    grid = build_grid(args.quick)
+    assert len(grid) >= 24, f"grid has {len(grid)} cells, need >= 24"
+    required_speedup = None if args.quick else 10.0
+
+    if args.store is not None:
+        store_dir, cleanup = args.store, False
+    else:
+        store_dir, cleanup = Path(tempfile.mkdtemp(prefix="bench-store-")), True
+    store = ExperimentStore(store_dir)
+
+    print(f"== store cache: warm vs cold over a {len(grid)}-cell grid ==")
+    legs = {
+        "grid": bench_grid(grid, store),
+        "resume": bench_resume(grid, store),
+    }
+    # Leave the store fully populated (CI archives its manifests).
+    api.run_grid(grid, store=store, parallel=False)
+    store.write_manifest(
+        "bench-store-cache", store.keys(),
+        meta={"benchmark": "store_cache", "cells": len(grid)},
+    )
+    g = legs["grid"]
+    print(
+        f"  cold {g['cold_s']*1e3:8.1f} ms | warm {g['warm_s']*1e3:8.1f} ms | "
+        f"speedup {g['speedup']:6.1f}x | bit-identical: {g['bit_identical']}"
+    )
+    r = legs["resume"]
+    print(
+        f"  resume after interruption: reused {r['reused_cells']} cells, "
+        f"executed {r['resumed_cells']} in {r['resume_s']*1e3:.1f} ms"
+    )
+
+    if required_speedup is None:
+        ok = True
+        print(f"\nsmoke mode: warm speedup {g['speedup']:.1f}x (not gated)")
+    else:
+        ok = g["speedup"] >= required_speedup
+        print(
+            f"\nacceptance: warm >= {required_speedup:.0f}x over a "
+            f"{len(grid)}-cell grid: {g['speedup']:.1f}x -> {'PASS' if ok else 'FAIL'}"
+        )
+
+    record = {
+        "benchmark": "store_cache",
+        "mode": "quick" if args.quick else "full",
+        "cells": len(grid),
+        "required_speedup": required_speedup,
+        "legs": legs,
+        "store_entries": len(store),
+        "pass": bool(ok),
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if cleanup:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    else:
+        print(f"store kept at {store_dir}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

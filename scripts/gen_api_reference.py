@@ -1,0 +1,236 @@
+"""Generate the docs-site API reference from the package's docstrings.
+
+Walks the public surface of the documented modules (``__all__`` where
+defined, public top-level names otherwise) with :mod:`inspect` and writes
+one Markdown page per module into ``docs/reference/``.  Sphinx-style roles
+in docstrings (``:class:`~repro.api.RunSpec```, ``:func:`run``` ...) are
+rewritten to plain code spans so the pages render cleanly under MkDocs.
+
+The generated pages are committed; CI (and ``tests/test_docs.py``) run
+``--check`` to fail loudly when the docstrings and the committed pages
+drift apart.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_api_reference.py          # (re)write pages
+    PYTHONPATH=src python scripts/gen_api_reference.py --check  # verify freshness
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REFERENCE_DIR = REPO_ROOT / "docs" / "reference"
+
+#: module name -> (page file name, one-line blurb for the index page).
+MODULES = {
+    "repro.api": (
+        "api.md",
+        "Declarative specs, registries and the parallel executor -- the front door.",
+    ),
+    "repro.store": (
+        "store.md",
+        "Content-addressed experiment store: canonical hashing, cached artifacts, GC.",
+    ),
+    "repro.dynamics": (
+        "dynamics.md",
+        "Time-varying networks: mobility models, churn timelines, the epoch runner.",
+    ),
+    "repro.sinr.network": (
+        "sinr-network.md",
+        "WirelessNetwork: placement, IDs, communication graph, the mutation API.",
+    ),
+    "repro.experiments.sweeps": (
+        "sweeps.md",
+        "Parameter-sweep runners assembling RunSpec grids over the executor.",
+    ),
+    "repro.analysis.reporting": (
+        "reporting.md",
+        "ExperimentTable rendering and loaders that build tables from stored artifacts.",
+    ),
+}
+
+_ROLE = re.compile(r":(?:class|func|meth|mod|data|attr|exc|obj):`~?([^`<>]+)`")
+
+
+def clean_doc(doc: str) -> str:
+    """Docstring -> Markdown: resolve roles, normalize literals."""
+    text = _ROLE.sub(lambda m: "`" + m.group(1).split(".")[-1] + "`", doc)
+    text = text.replace("``", "`")
+    # reST literal-block markers: the indented block that follows already
+    # renders as a Markdown code block; drop the dangling second colon.
+    text = re.sub(r"::$", ":", text, flags=re.MULTILINE)
+    return text.strip()
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def public_members(module):
+    """The module's documented surface, in a stable (declaration-ish) order."""
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [
+            name
+            for name, value in vars(module).items()
+            if not name.startswith("_")
+            and (inspect.isclass(value) or inspect.isfunction(value))
+            and getattr(value, "__module__", "") == module.__name__
+        ]
+    members = []
+    for name in names:
+        value = getattr(module, name, None)
+        if value is None or inspect.ismodule(value):
+            continue
+        members.append((name, value))
+    classes = [(n, v) for n, v in members if inspect.isclass(v)]
+    functions = [(n, v) for n, v in members if inspect.isfunction(v)]
+    data = [
+        (n, v)
+        for n, v in members
+        if not inspect.isclass(v) and not inspect.isfunction(v)
+    ]
+    return classes, functions, data
+
+
+def render_class(name: str, cls) -> list:
+    lines = [f"## `{name}`", ""]
+    if not inspect.isabstract(cls) and cls.__init__ is not object.__init__:
+        lines += [f"```python\n{name}{signature_of(cls)}\n```", ""]
+    doc = inspect.getdoc(cls)
+    if doc:
+        lines += [clean_doc(doc), ""]
+    # Properties first, then public methods, declaration order per class.
+    properties = []
+    methods = []
+    for attr_name, attr in vars(cls).items():
+        if attr_name.startswith("_"):
+            continue
+        if isinstance(attr, property):
+            properties.append((attr_name, attr))
+        elif inspect.isfunction(attr) or isinstance(attr, (classmethod, staticmethod)):
+            methods.append((attr_name, attr))
+    if properties:
+        lines += ["**Properties:**", ""]
+        for attr_name, attr in properties:
+            doc = inspect.getdoc(attr) or ""
+            summary = clean_doc(doc).splitlines()[0] if doc else ""
+            lines.append(f"- `{attr_name}` -- {summary}" if summary else f"- `{attr_name}`")
+        lines.append("")
+    for attr_name, attr in methods:
+        fn = attr.__func__ if isinstance(attr, (classmethod, staticmethod)) else attr
+        kind = ""
+        if isinstance(attr, classmethod):
+            kind = " *(classmethod)*"
+        elif isinstance(attr, staticmethod):
+            kind = " *(staticmethod)*"
+        lines += [f"### `{name}.{attr_name}{signature_of(fn)}`{kind}", ""]
+        doc = inspect.getdoc(fn)
+        if doc:
+            lines += [clean_doc(doc), ""]
+    return lines
+
+
+def render_function(name: str, fn) -> list:
+    lines = [f"## `{name}{signature_of(fn)}`", ""]
+    doc = inspect.getdoc(fn)
+    if doc:
+        lines += [clean_doc(doc), ""]
+    return lines
+
+
+def render_module(module_name: str) -> str:
+    module = importlib.import_module(module_name)
+    lines = [
+        "<!-- Generated by scripts/gen_api_reference.py -- do not edit by hand. -->",
+        "",
+        f"# `{module_name}`",
+        "",
+    ]
+    doc = inspect.getdoc(module)
+    if doc:
+        lines += [clean_doc(doc), ""]
+    classes, functions, data = public_members(module)
+    if data:
+        lines += ["## Module data", ""]
+        for name, value in data:
+            summary = type(value).__name__
+            if hasattr(value, "kind"):  # the Registry instances
+                summary = f"`Registry({value.kind!r})` with entries: " + ", ".join(
+                    f"`{entry}`" for entry in value.names()
+                )
+            lines.append(f"- `{name}` -- {summary}")
+        lines.append("")
+    for name, fn in functions:
+        lines += render_function(name, fn)
+    for name, cls in classes:
+        lines += render_class(name, cls)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_index() -> str:
+    lines = [
+        "<!-- Generated by scripts/gen_api_reference.py -- do not edit by hand. -->",
+        "",
+        "# API reference",
+        "",
+        "Generated from the package docstrings by `scripts/gen_api_reference.py`",
+        "(re-run it after changing a docstring; CI fails if the pages drift).",
+        "",
+    ]
+    for module_name, (page, blurb) in MODULES.items():
+        lines.append(f"- [`{module_name}`]({page}) -- {blurb}")
+    return "\n".join(lines) + "\n"
+
+
+def generate() -> dict:
+    pages = {"index.md": render_index()}
+    for module_name, (page, _) in MODULES.items():
+        pages[page] = render_module(module_name)
+    return pages
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed pages match the docstrings; write nothing",
+    )
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    pages = generate()
+    stale = []
+    REFERENCE_DIR.mkdir(parents=True, exist_ok=True)
+    for name, content in pages.items():
+        path = REFERENCE_DIR / name
+        if args.check:
+            if not path.exists() or path.read_text(encoding="utf-8") != content:
+                stale.append(name)
+        else:
+            path.write_text(content, encoding="utf-8")
+            print(f"wrote {path.relative_to(REPO_ROOT)}")
+    if args.check:
+        if stale:
+            print(
+                "stale API reference pages (re-run scripts/gen_api_reference.py): "
+                + ", ".join(stale),
+                file=sys.stderr,
+            )
+            return 1
+        print(f"API reference is fresh ({len(pages)} pages)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,12 +43,16 @@ Quickstart (direct simulator access)::
     print(clustering.cluster_count(), "clusters in", clustering.rounds_used, "rounds")
 """
 
+#: Package version (kept in sync with pyproject.toml).  Participates in the
+#: content-addressed store keys (:mod:`repro.store`): bumping it deliberately
+#: invalidates cached artifacts, because results are only guaranteed
+#: reproducible against the exact code that produced them.
+__version__ = "0.4.0"
+
 from .core import AlgorithmConfig, build_clustering, global_broadcast, local_broadcast
 from .simulation import SINRSimulator
 from .sinr import SINRParameters, WirelessNetwork
 from . import api
-
-__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmConfig",

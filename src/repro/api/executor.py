@@ -13,6 +13,11 @@ measured results:
   re-seeded across ``seeds``, executed via :func:`run_grid`, collected into
   a columnar :class:`RunSet`.
 
+All entry points accept ``store=`` / ``cache=`` for the content-addressed
+result cache (:mod:`repro.store`): stored cells are loaded instead of
+executed, so interrupted grids resume and warm re-runs are near-instant,
+bit-identical to cold execution.
+
 Every algorithm in the registry is deterministic given its spec (the
 paper's constructions are seeded), so parallel execution is bit-identical
 to serial execution -- ``tests/test_api.py`` property-tests exactly that by
@@ -76,7 +81,10 @@ class RunResult:
 
     ``elapsed`` is wall-clock seconds and is deliberately excluded from
     :meth:`payload`, the deterministic portion that serial and parallel
-    execution must agree on bit for bit.
+    execution must agree on bit for bit.  ``cached`` records whether the
+    result was loaded from an :class:`~repro.store.ExperimentStore` rather
+    than executed; like ``elapsed``/``raw`` it is provenance, not payload,
+    so cached results compare bit-identical to cold ones.
     """
 
     spec: RunSpec
@@ -86,6 +94,7 @@ class RunResult:
     details: Dict[str, Any]
     elapsed: float
     raw: Any = None
+    cached: bool = False
 
     @property
     def seed(self) -> int:
@@ -275,12 +284,35 @@ def build_deployment(spec) -> Any:
     return builder(seed=spec.seed, backend=spec.backend, **spec.param_dict())
 
 
-def run(spec: RunSpec, keep_raw: bool = True) -> RunResult:
+def _resolve_store(store, cache: str):
+    """Validate ``cache`` and coerce ``store`` (path or instance) to a store.
+
+    Returns ``None`` when caching is disabled (no store, or ``cache="off"``).
+    Imported lazily: :mod:`repro.store` depends on this module.
+    """
+    from ..store.store import CACHE_MODES, resolve_store
+
+    if cache not in CACHE_MODES:
+        raise ValueError(f"cache must be one of {', '.join(CACHE_MODES)}; got {cache!r}")
+    if store is None or cache == "off":
+        return None
+    return resolve_store(store)
+
+
+def run(spec: RunSpec, keep_raw: bool = True, store=None, cache: str = "reuse") -> RunResult:
     """Execute one spec in-process and return its :class:`RunResult`.
 
     ``keep_raw=False`` drops the in-memory algorithm result object, which is
     what the parallel path does implicitly (raw objects never cross process
     boundaries).
+
+    ``store`` (an :class:`~repro.store.ExperimentStore` or a path) enables
+    the content-addressed cache: with ``cache="reuse"`` (default) an
+    already-stored result for this exact spec is loaded instead of executed
+    (``result.cached`` is then true) and fresh results are persisted;
+    ``"refresh"`` recomputes and overwrites; ``"off"`` ignores the store.
+    Cached results are bit-identical to cold execution
+    (:meth:`RunResult.payload` compares equal, property-tested).
 
     A spec carrying a dynamics block is refused: a static execution would
     silently ignore the mobility/churn scenario the spec describes while
@@ -293,6 +325,23 @@ def run(spec: RunSpec, keep_raw: bool = True) -> RunResult:
             "run() would silently ignore the dynamics (use spec.with_dynamics(None) "
             "to run the initial placement only)"
         )
+    cache_store = _resolve_store(store, cache)
+    if cache_store is not None and cache == "reuse":
+        hit = cache_store.load_result(spec)
+        if hit is not None:
+            return hit
+    result = _run_uncached(spec, keep_raw=keep_raw)
+    if cache_store is not None:
+        cache_store.put_result(result, overwrite=(cache == "refresh"))
+    return result
+
+
+def _run_uncached(spec: RunSpec, keep_raw: bool = True) -> RunResult:
+    """The execution body of :func:`run`, with no store involvement.
+
+    Dynamic specs were already rejected by :func:`run` (before the cache
+    lookup, so they fail the same way with or without a store).
+    """
     entry = ALGORITHMS.get(spec.algorithm.name)
     config = spec.algorithm.build_config()
     params = spec.algorithm.param_dict()
@@ -323,7 +372,7 @@ def run(spec: RunSpec, keep_raw: bool = True) -> RunResult:
     )
 
 
-def run_dynamic(spec: RunSpec):
+def run_dynamic(spec: RunSpec, store=None, cache: str = "reuse"):
     """Execute a time-varying scenario epoch by epoch; returns an ``EpochSet``.
 
     The spec must carry a :class:`~repro.api.specs.DynamicsSpec` (see
@@ -333,10 +382,23 @@ def run_dynamic(spec: RunSpec):
     dynamic sibling of :func:`run`; the loop itself lives in
     :mod:`repro.dynamics.runner` (imported lazily -- the dynamics package
     depends on this module).
+
+    ``store``/``cache`` behave as in :func:`run`: a stored trajectory for
+    this exact spec is reused (``cache="reuse"``), recomputed and
+    overwritten (``"refresh"``), or ignored (``"off"``); fresh trajectories
+    are persisted as columnar NPZ artifacts.
     """
     from ..dynamics.runner import run_epochs
 
-    return run_epochs(spec)
+    cache_store = _resolve_store(store, cache)
+    if cache_store is not None and cache == "reuse":
+        hit = cache_store.load_epochs(spec)
+        if hit is not None:
+            return hit
+    trajectory = run_epochs(spec)
+    if cache_store is not None:
+        cache_store.put_epochs(trajectory, overwrite=(cache == "refresh"))
+    return trajectory
 
 
 def _run_payload(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -391,6 +453,8 @@ def run_grid(
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     keep_raw: bool = False,
+    store=None,
+    cache: str = "reuse",
 ) -> List[RunResult]:
     """Execute a list of specs, in spec order, optionally on a process pool.
 
@@ -401,8 +465,18 @@ def run_grid(
     ``parallel=False`` forces serial execution.  Results are identical
     either way -- only ``RunResult.elapsed`` and ``RunResult.raw`` (dropped
     by the pool, retained serially when ``keep_raw``) differ.
+
+    With ``store=`` the grid becomes *resumable*: already-stored cells are
+    loaded (``cached=True``) and only the missing cells execute -- an
+    interrupted sweep picks up where it stopped, and a warm re-run touches
+    no simulator at all.  ``cache="refresh"`` recomputes every cell and
+    overwrites; ``"off"`` ignores the store.  Cell order is preserved
+    regardless of the hit/miss split.
     """
-    results, _ = _run_grid(specs, parallel=parallel, max_workers=max_workers, keep_raw=keep_raw)
+    results, _ = _run_grid(
+        specs, parallel=parallel, max_workers=max_workers, keep_raw=keep_raw,
+        store=store, cache=cache,
+    )
     return results
 
 
@@ -411,11 +485,37 @@ def _run_grid(
     parallel: Optional[bool],
     max_workers: Optional[int],
     keep_raw: bool,
+    store=None,
+    cache: str = "reuse",
 ) -> Tuple[List[RunResult], bool]:
     """:func:`run_grid` plus a flag for whether the pool was actually used."""
     specs = list(specs)
+    cache_store = _resolve_store(store, cache)
     if not specs:
         return [], False
+    if cache_store is not None:
+        slots: List[Optional[RunResult]] = [None] * len(specs)
+        misses: List[int] = []
+        if cache == "reuse":
+            for i, spec in enumerate(specs):
+                hit = cache_store.load_result(spec)
+                if hit is not None:
+                    slots[i] = hit
+                else:
+                    misses.append(i)
+        else:  # refresh: recompute everything, overwrite below
+            misses = list(range(len(specs)))
+        computed, used_pool = _run_grid(
+            [specs[i] for i in misses], parallel=parallel,
+            max_workers=max_workers, keep_raw=keep_raw,
+        )
+        for i, result in zip(misses, computed):
+            cache_store.put_result(result, overwrite=(cache == "refresh"))
+            slots[i] = result
+        filled = [result for result in slots if result is not None]
+        if len(filled) != len(specs):
+            raise RuntimeError("cache bookkeeping lost a grid cell (this is a bug)")
+        return filled, used_pool
     want_parallel = parallel if parallel is not None else len(specs) > 1
     if want_parallel:
         context = _pool_context()
@@ -446,6 +546,8 @@ def run_many(
     seeds: Sequence[int],
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    store=None,
+    cache: str = "reuse",
 ) -> RunSet:
     """Execute ``spec`` once per seed and collect a columnar :class:`RunSet`.
 
@@ -453,10 +555,18 @@ def run_many(
     seeded-randomized constructions, so "the result" of a scenario is
     naturally a distribution over placement seeds.  Seeds are executed in
     the order given, duplicates included.
+
+    ``store``/``cache`` behave as in :func:`run_grid`: each seed is cached
+    as its own content-addressed entry, so an ensemble interrupted halfway
+    resumes from the stored seeds and re-running a finished ensemble
+    executes nothing.
     """
     seeds = [int(seed) for seed in seeds]
     if not seeds:
         raise ValueError("run_many needs at least one seed")
     grid = [spec.with_seed(seed) for seed in seeds]
-    results, used_pool = _run_grid(grid, parallel=parallel, max_workers=max_workers, keep_raw=False)
+    results, used_pool = _run_grid(
+        grid, parallel=parallel, max_workers=max_workers, keep_raw=False,
+        store=store, cache=cache,
+    )
     return RunSet(spec=spec, results=results, parallel=used_pool)

@@ -14,6 +14,8 @@ multi-seed ensembles) and the result is printed as a short report, e.g.::
     repro-sim gadget --delta 12
     repro-sim list
     repro-sim run --spec myrun.json --seeds 0,1,2,3
+    repro-sim run --spec myrun.json --store results-store --seeds 0,1,2,3
+    repro-sim store list --store results-store
 
 (or ``python -m repro.cli ...``).  Valid ``--deployment``, ``--preset`` and
 ``--backend`` values come straight from the :mod:`repro.api` registries
@@ -22,11 +24,18 @@ is immediately drivable from the shell.  ``--dump-spec`` prints the spec a
 command would run as JSON instead of executing it; ``repro-sim run``
 executes such a JSON artifact.  All deployment/algorithm dispatch lives in
 :mod:`repro.api` -- this module only translates flags.
+
+``--store PATH`` on any run-style subcommand enables the content-addressed
+result cache (:mod:`repro.store`): cached runs are loaded instead of
+executed (``--cache refresh`` recomputes, ``--cache off`` ignores the
+store), and ``repro-sim store list|show|gc`` inspects and maintains a
+store.  ``REPRO_STORE`` in the environment supplies the default path.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Dict, Optional, Sequence
 
@@ -110,11 +119,39 @@ def _maybe_dump(args: argparse.Namespace, spec: RunSpec) -> bool:
     return False
 
 
+def _add_store_path_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=os.environ.get("REPRO_STORE"),
+        metavar="PATH",
+        help="the content-addressed result store at PATH "
+        "(default: $REPRO_STORE if set)",
+    )
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_store_path_argument(parser)
+    parser.add_argument(
+        "--cache",
+        choices=("reuse", "refresh", "off"),
+        default="reuse",
+        help="with --store: reuse cached results (default), recompute and "
+        "overwrite (refresh), or ignore the store (off)",
+    )
+
+
+def _store_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """``store=``/``cache=`` keyword arguments for the api entry points."""
+    if getattr(args, "store", None):
+        return {"store": args.store, "cache": args.cache}
+    return {}
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     spec = _run_spec(args, "cluster")
     if _maybe_dump(args, spec):
         return 0
-    result = api.run(spec)
+    result = api.run(spec, **_store_kwargs(args))
     print(result.details["network"])
     print(f"clusters: {int(result.metrics['clusters'])}")
     print(f"rounds: {result.rounds['total']}")
@@ -128,7 +165,7 @@ def _cmd_local_broadcast(args: argparse.Namespace) -> int:
     spec = _run_spec(args, "local-broadcast")
     if _maybe_dump(args, spec):
         return 0
-    result = api.run(spec)
+    result = api.run(spec, **_store_kwargs(args))
     print(result.details["network"])
     print(f"rounds: {result.rounds['total']}")
     print(f"  clustering:   {result.rounds['clustering']}")
@@ -145,7 +182,7 @@ def _cmd_global_broadcast(args: argparse.Namespace) -> int:
     spec = _run_spec(args, "global-broadcast", params)
     if _maybe_dump(args, spec):
         return 0
-    result = api.run(spec)
+    result = api.run(spec, **_store_kwargs(args))
     print(result.details["network"])
     print(f"source: {result.details['source']}")
     print(f"phases: {int(result.metrics['phases'])}")
@@ -163,7 +200,7 @@ def _cmd_leader_election(args: argparse.Namespace) -> int:
     spec = _run_spec(args, "leader-election")
     if _maybe_dump(args, spec):
         return 0
-    result = api.run(spec)
+    result = api.run(spec, **_store_kwargs(args))
     print(result.details["network"])
     print(f"leader: {result.details['leader']}")
     print(f"candidates: {result.details['candidates']}")
@@ -195,8 +232,10 @@ def _dynamic_spec(args: argparse.Namespace) -> RunSpec:
     )
 
 
-def _run_and_report_dynamic(spec: RunSpec, output: Optional[str]) -> int:
-    trajectory = api.run_dynamic(spec)
+def _run_and_report_dynamic(
+    spec: RunSpec, output: Optional[str], store_kwargs: Optional[Dict[str, Any]] = None
+) -> int:
+    trajectory = api.run_dynamic(spec, **(store_kwargs or {}))
     print(trajectory.table().render())
     summary = trajectory.summary()
     rounds = summary["rounds"].get("total", {})
@@ -226,7 +265,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     spec = _dynamic_spec(args)
     if _maybe_dump(args, spec):
         return 0
-    return _run_and_report_dynamic(spec, args.output)
+    return _run_and_report_dynamic(spec, args.output, _store_kwargs(args))
 
 
 def _cmd_gadget(args: argparse.Namespace) -> int:
@@ -273,6 +312,123 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace):
+    """Open the store named by ``--store``/``REPRO_STORE`` for inspection."""
+    from .store import ExperimentStore, StoreError
+
+    path = getattr(args, "store", None)
+    if not path:
+        print(
+            "error: no store given; pass --store PATH or set REPRO_STORE",
+            file=sys.stderr,
+        )
+        return None
+    if not os.path.isdir(path):
+        print(f"error: no store at {path}", file=sys.stderr)
+        return None
+    try:
+        return ExperimentStore(path)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _store_command(handler):
+    """Wrap a store subcommand so StoreError prints cleanly, not as a traceback.
+
+    ``StoreIntegrityError`` messages carry the recovery hint ('repro-sim
+    store gc' / cache='refresh'); the inspection commands exist to diagnose
+    damaged stores, so a raw traceback here would defeat their purpose.
+    """
+
+    def wrapped(args: argparse.Namespace) -> int:
+        from .store import StoreError
+
+        try:
+            return handler(args)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapped
+
+
+@_store_command
+def _cmd_store_list(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    entries = store.entries()
+    if not entries:
+        print(f"store at {store.root}: empty")
+        return 0
+    print(f"store at {store.root}: {len(entries)} entries")
+    for manifest in entries:
+        size = sum(meta.get("bytes", 0) for meta in manifest.get("files", {}).values())
+        print(
+            f"  {manifest['key'][:12]}  {manifest['kind']:6s}  "
+            f"{manifest.get('label', '?'):44s}  {size:8,d} B"
+        )
+    names = store.manifest_names()
+    if names:
+        print("collections:")
+        for name in names:
+            data = store.read_manifest(name)
+            print(f"  {name}: {len(data.get('keys', []))} entries")
+    return 0
+
+
+@_store_command
+def _cmd_store_show(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        key = store.resolve_prefix(args.key)
+        manifest = store.manifest(key)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"key:      {manifest['key']}")
+    print(f"kind:     {manifest['kind']}")
+    print(f"label:    {manifest.get('label', '?')}")
+    print(f"package:  {manifest.get('package', '?')} (format {manifest.get('format', '?')})")
+    for name, meta in sorted(manifest["files"].items()):
+        print(f"file:     {name}  {meta.get('bytes', 0):,} B  sha256={meta.get('sha256', '?')[:16]}...")
+    # get() checksums every file on load, so this one call is also the
+    # integrity verdict (a second explicit verify would hash everything twice).
+    loaded = store.get(key)
+    print("integrity: ok")
+    if manifest["kind"] == "run":
+        for rounds_key, value in sorted(loaded.rounds.items()):
+            print(f"rounds[{rounds_key}]: {value}")
+        for check_key, value in sorted(loaded.checks.items()):
+            print(f"check[{check_key}]: {value}")
+    else:
+        print(loaded.table().render())
+    return 0
+
+
+@_store_command
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    report = store.gc(prune_unreferenced=args.prune)
+    print(f"removed corrupt entries: {len(report['removed_corrupt'])}")
+    for key in report["removed_corrupt"]:
+        print(f"  {key[:12]}")
+    if report["corrupt_kept"]:
+        print(f"corrupt but referenced by a collection (kept): {len(report['corrupt_kept'])}")
+        for key in report["corrupt_kept"]:
+            print(f"  {key[:12]}")
+    if args.prune:
+        print(f"pruned unreferenced entries: {len(report['pruned_unreferenced'])}")
+    print(f"staging debris removed: {report['staging_debris']}")
+    print(f"entries remaining: {report['remaining']}")
+    return 0
+
+
 def _parse_seeds(text: str) -> list:
     return [int(part) for part in text.replace(",", " ").split()]
 
@@ -288,9 +444,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         if seeds:
             spec = spec.with_seed(seeds[0])
-        return _run_and_report_dynamic(spec, args.output)
+        return _run_and_report_dynamic(spec, args.output, _store_kwargs(args))
     if seeds and len(seeds) > 1:
-        runset = api.run_many(spec, seeds=seeds, parallel=not args.serial)
+        runset = api.run_many(spec, seeds=seeds, parallel=not args.serial, **_store_kwargs(args))
         print(runset.table().render())
         summary = runset.summary()
         rounds = summary["rounds"].get("total", {})
@@ -306,7 +462,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0 if runset.all_checks_pass() else 1
     if seeds:
         spec = spec.with_seed(seeds[0])
-    result = api.run(spec)
+    result = api.run(spec, **_store_kwargs(args))
+    if result.cached:
+        print("(loaded from store)")
     if "network" in result.details:
         print(result.details["network"])
     for key, value in sorted(result.rounds.items()):
@@ -332,19 +490,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     cluster = subparsers.add_parser("cluster", help="build a 1-clustering (Algorithm 6)")
     _add_network_arguments(cluster)
+    _add_store_arguments(cluster)
     cluster.set_defaults(handler=_cmd_cluster)
 
     local = subparsers.add_parser("local-broadcast", help="run local broadcast (Algorithm 7)")
     _add_network_arguments(local)
+    _add_store_arguments(local)
     local.set_defaults(handler=_cmd_local_broadcast)
 
     global_ = subparsers.add_parser("global-broadcast", help="run global broadcast (Algorithm 8)")
     _add_network_arguments(global_)
+    _add_store_arguments(global_)
     global_.add_argument("--source", type=int, default=None, help="source node ID (default: first node)")
     global_.set_defaults(handler=_cmd_global_broadcast)
 
     leader = subparsers.add_parser("leader-election", help="elect a leader (Theorem 5)")
     _add_network_arguments(leader)
+    _add_store_arguments(leader)
     leader.set_defaults(handler=_cmd_leader_election)
 
     dynamic = subparsers.add_parser(
@@ -379,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dynamics-seed", type=int, default=0, help="seed of the mobility/churn process (independent of --seed)"
     )
     dynamic.add_argument("--output", default=None, help="write the EpochSet JSON to this path")
+    _add_store_arguments(dynamic)
     dynamic.set_defaults(handler=_cmd_dynamic)
 
     gadget = subparsers.add_parser("gadget", help="inspect the lower-bound gadget (Theorem 6)")
@@ -404,7 +567,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_.add_argument("--serial", action="store_true", help="disable the process-pool fan-out")
     run_.add_argument("--output", default=None, help="write the result JSON to this path")
+    _add_store_arguments(run_)
     run_.set_defaults(handler=_cmd_run)
+
+    store_ = subparsers.add_parser(
+        "store", help="inspect and maintain a content-addressed result store"
+    )
+    store_sub = store_.add_subparsers(dest="store_command", required=True)
+
+    store_list = store_sub.add_parser("list", help="list stored entries and collections")
+    _add_store_path_argument(store_list)
+    store_list.set_defaults(handler=_cmd_store_list)
+
+    store_show = store_sub.add_parser("show", help="verify and print one stored entry")
+    store_show.add_argument("key", help="entry key (any unambiguous prefix)")
+    _add_store_path_argument(store_show)
+    store_show.set_defaults(handler=_cmd_store_show)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="remove corrupt/staging debris (and optionally unreferenced entries)"
+    )
+    store_gc.add_argument(
+        "--prune",
+        action="store_true",
+        help="also delete healthy entries not referenced by any collection manifest",
+    )
+    _add_store_path_argument(store_gc)
+    store_gc.set_defaults(handler=_cmd_store_gc)
 
     return parser
 

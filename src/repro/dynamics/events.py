@@ -123,6 +123,7 @@ class ChurnProcess(EventTimeline):
         self._next_uid = 1
 
     def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        """Observe the initial placement: join box, uid watermark, no sleepers."""
         self._lo, self._hi = _bounding_box(network.positions)
         self._sleepers = []
         # Joins draw from a monotone uid counter so a fresh node can never
@@ -132,6 +133,12 @@ class ChurnProcess(EventTimeline):
     def apply(
         self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
     ) -> EpochEvents:
+        """Mutate the network with one epoch of churn; returns what happened.
+
+        Order per epoch: due sleepers wake, then crashes/sleeps are sampled
+        over the current population (clamped at ``min_nodes``), then joins
+        arrive at fresh monotone uids.
+        """
         # 1. Wake the sleepers whose duty cycle ended, before sampling this
         #    epoch's events: a due node must be back in the network when the
         #    algorithm runs, which also makes it eligible for this epoch's
@@ -209,6 +216,7 @@ class ScriptedEvents(EventTimeline):
     def apply(
         self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
     ) -> EpochEvents:
+        """Apply this epoch's scripted crashes and joins (rng is unused)."""
         crashed = self._crashes.get(epoch, [])
         if crashed:
             network.remove_nodes(crashed)

@@ -101,6 +101,7 @@ class RandomWaypoint(MobilityModel):
         self._targets: Dict[int, np.ndarray] = {}
 
     def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        """Fix the waypoint box (explicit area or the placement's bounding box)."""
         if self.area is not None:
             self._lo, self._hi = np.zeros(2), np.full(2, self.area)
         else:
@@ -117,6 +118,7 @@ class RandomWaypoint(MobilityModel):
     def step(
         self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance the moving subset one ``speed`` step toward their waypoints."""
         # Crashed nodes drop their targets (keeps the dict bounded by the
         # live population under sustained churn).
         if len(self._targets) > network.size:
@@ -151,6 +153,7 @@ class GaussianDrift(MobilityModel):
     def step(
         self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Offset the moving subset by one N(0, sigma^2) draw per axis."""
         indices = _subset(network.size, self.fraction, rng)
         if not indices.size:
             return indices, np.empty((0, 2))
@@ -178,6 +181,7 @@ class ConvoyRotation(MobilityModel):
         self._pivot = np.zeros(2)
 
     def reset(self, network: WirelessNetwork, rng: np.random.Generator) -> None:
+        """Fix the pivot (explicit center or the formation's centroid)."""
         self._pivot = (
             self._center if self._center is not None else network.positions.mean(axis=0).copy()
         )
@@ -185,6 +189,7 @@ class ConvoyRotation(MobilityModel):
     def step(
         self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rotate the moving subset by ``omega`` radians around the pivot."""
         indices = _subset(network.size, self.fraction, rng)
         if not indices.size:
             return indices, np.empty((0, 2))
@@ -202,6 +207,7 @@ class StaticMobility(MobilityModel):
     def step(
         self, network: WirelessNetwork, rng: np.random.Generator, epoch: int
     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Move nothing (the empty index set)."""
         return np.empty(0, dtype=np.int64), np.empty((0, 2))
 
 

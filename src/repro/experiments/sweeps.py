@@ -22,7 +22,16 @@ the results:
 Every runner returns a list of :class:`SweepPoint` plus a rendered
 :class:`~repro.analysis.reporting.ExperimentTable`, and never mutates global
 state (each data point gets a fresh network and simulator).  The historical
-call signatures are preserved; ``parallel=``/``max_workers=`` are additive.
+call signatures are preserved; ``parallel=``/``max_workers=`` and
+``store=``/``cache=`` are additive.
+
+Passing ``store=`` (an :class:`~repro.store.ExperimentStore` or a path)
+makes a sweep *resumable*: every grid cell is cached under its canonical
+spec hash, so an interrupted sweep re-executes only the missing cells and a
+finished sweep replays from disk without touching a simulator.  Each sweep
+also records a named collection manifest (``sweep-<name>``) listing its
+cell keys, which keeps the artifacts discoverable (``repro-sim store
+list``) and protects them from ``store.gc(prune_unreferenced=True)``.
 """
 
 from __future__ import annotations
@@ -118,8 +127,30 @@ def _execute(
     cells: Sequence[_Cell],
     parallel: Optional[bool],
     max_workers: Optional[int],
+    store=None,
+    cache: str = "reuse",
+    sweep: Optional[str] = None,
 ) -> List[RunResult]:
-    return run_grid([cell.spec for cell in cells], parallel=parallel, max_workers=max_workers)
+    """Run all cells through :func:`repro.api.run_grid`, recording the sweep.
+
+    With a store, already-cached cells are skipped (the resume path) and
+    the full cell-key list is written as the ``sweep-<name>`` collection
+    manifest after execution, so the artifacts of a finished sweep are
+    discoverable and GC-protected as one unit.
+    """
+    results = run_grid(
+        [cell.spec for cell in cells], parallel=parallel, max_workers=max_workers,
+        store=store, cache=cache,
+    )
+    if store is not None and cache != "off" and sweep:
+        from ..store import resolve_store, spec_key
+
+        resolve_store(store).write_manifest(
+            f"sweep-{sweep}",
+            [spec_key(cell.spec) for cell in cells],
+            meta={"sweep": sweep, "cells": len(cells)},
+        )
+    return results
 
 
 def _grouped(
@@ -153,6 +184,8 @@ def local_broadcast_sweep(
     seed: int = 100,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    store=None,
+    cache: str = "reuse",
 ) -> SweepResult:
     """Rounds of local broadcast versus density (Table 1 / Theorem 2 shape)."""
     config = config or AlgorithmConfig.fast()
@@ -191,7 +224,7 @@ def local_broadcast_sweep(
             )
             cells.append(cell("local-broadcast-tdma", "TDMA", None, None))
 
-    results = _execute(cells, parallel, max_workers)
+    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="local-broadcast")
 
     table = ExperimentTable(
         title="local broadcast sweep", columns=["Delta", "rounds", "reference shape"]
@@ -221,6 +254,8 @@ def global_broadcast_sweep(
     seed: int = 200,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    store=None,
+    cache: str = "reuse",
 ) -> SweepResult:
     """Rounds of global broadcast versus diameter (Table 2 / Theorem 3 shape)."""
     config = config or AlgorithmConfig.fast()
@@ -257,7 +292,7 @@ def global_broadcast_sweep(
             )
             cells.append(cell("global-broadcast-tdma", "TDMA flood", None, None))
 
-    results = _execute(cells, parallel, max_workers)
+    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="global-broadcast")
 
     table = ExperimentTable(
         title="global broadcast sweep", columns=["D", "Delta", "rounds", "reference shape"]
@@ -286,6 +321,8 @@ def clustering_sweep(
     seed: int = 500,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    store=None,
+    cache: str = "reuse",
 ) -> SweepResult:
     """Clustering rounds and validity versus density (Theorem 1 shape)."""
     config = config or AlgorithmConfig.fast()
@@ -311,7 +348,7 @@ def clustering_sweep(
             )
         )
 
-    results = _execute(cells, parallel, max_workers)
+    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="clustering")
 
     table = ExperimentTable(
         title="clustering sweep", columns=["Gamma", "rounds", "clusters", "valid", "reference shape"]
@@ -346,6 +383,8 @@ def gadget_delay_sweep(
     adversarial: bool = True,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    store=None,
+    cache: str = "reuse",
 ) -> SweepResult:
     """Adversarially forced delivery delay versus ``Delta`` (Figures 5-6 shape)."""
     label = "round-robin under adversarial IDs" if adversarial else "round-robin, benign IDs"
@@ -368,7 +407,7 @@ def gadget_delay_sweep(
             )
         )
 
-    results = _execute(cells, parallel, max_workers)
+    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="gadget-delay")
 
     table = ExperimentTable(
         title="gadget delay sweep", columns=["Delta", "delay", "Omega(Delta) satisfied"]

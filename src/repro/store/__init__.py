@@ -1,0 +1,48 @@
+"""Content-addressed experiment store: cached, resumable, replayable runs.
+
+Every :class:`~repro.api.specs.RunSpec` is deterministic, so its canonical
+hash (:func:`spec_key`) is a durable *name* for the result it produces --
+the spec hash is a derandomized handle for the whole experiment.  This
+package persists executed results under those names:
+
+* :mod:`repro.store.hashing` -- the canonical JSON form and SHA-256 key
+  recipe (stable across processes, dict orderings and machines; versioned
+  by package release);
+* :mod:`repro.store.store` -- :class:`ExperimentStore`, the on-disk store:
+  integrity-checked entry manifests, columnar JSON/NPZ payloads, named
+  collections for sweeps, and garbage collection that never deletes
+  referenced artifacts.
+
+The executor entry points (:func:`repro.api.run`,
+:func:`~repro.api.run_many`, :func:`~repro.api.run_grid`,
+:func:`~repro.api.run_dynamic`) accept ``store=`` (a path or an
+:class:`ExperimentStore`) plus ``cache="reuse"|"refresh"|"off"``, making
+interrupted sweeps resumable and warm re-runs near-instant::
+
+    from repro import api
+
+    spec = api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 60, "area": 3.5}, seed=7),
+        algorithm=api.AlgorithmSpec("cluster", preset="fast"),
+    )
+    first = api.run(spec, store="results-store")    # computes, persists
+    again = api.run(spec, store="results-store")    # loads: again.cached is True
+    assert first.payload() == again.payload()       # bit-identical
+
+From the shell: ``repro-sim run --spec run.json --store results-store`` and
+``repro-sim store list|show|gc``.
+"""
+
+from .hashing import STORE_FORMAT_VERSION, canonical_json, spec_key, spec_kind
+from .store import ExperimentStore, StoreError, StoreIntegrityError, resolve_store
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "ExperimentStore",
+    "StoreError",
+    "StoreIntegrityError",
+    "canonical_json",
+    "resolve_store",
+    "spec_key",
+    "spec_kind",
+]

@@ -1,0 +1,91 @@
+"""Canonical spec hashing: the content addresses of the artifact store.
+
+A :class:`~repro.api.specs.RunSpec` fully determines its result (every
+algorithm in the registry is deterministic given its spec), so a stable
+hash of the spec is a *name* for the result itself -- the derandomized
+replay handle: any machine that computes the same key may reuse the stored
+artifact instead of re-running the experiment.
+
+Stability is the whole point, so the recipe is deliberately boring:
+
+1. serialize the spec with :func:`canonical_json` -- sorted keys, compact
+   separators, ASCII-only, ``NaN`` rejected -- so dict insertion order,
+   whitespace and locale can never leak into the key;
+2. wrap it in an envelope that pins the artifact ``kind`` (``"run"`` for a
+   static spec, ``"epochs"`` for one with a dynamics block), the store
+   format version and the package version;
+3. take the SHA-256 hex digest.
+
+The package version participates on purpose: a new release may legally
+change measured results, and silently reusing artifacts across versions
+would defeat the bit-identical guarantee.  Bumping
+``repro.__version__`` therefore invalidates every cached artifact.
+``tests/test_store.py`` pins a golden key so accidental recipe changes
+(rather than deliberate version bumps) fail loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from .. import __version__
+from ..api.specs import RunSpec
+
+__all__ = ["STORE_FORMAT_VERSION", "canonical_json", "spec_key", "spec_kind"]
+
+#: On-disk layout / hashing-recipe version.  Participates in every key:
+#: changing how artifacts are laid out or hashed orphans old entries
+#: instead of misreading them.
+STORE_FORMAT_VERSION = 1
+
+
+def canonical_json(data: Any) -> str:
+    """Serialize ``data`` to the canonical JSON form used for hashing.
+
+    Keys are sorted recursively, separators are compact, output is pure
+    ASCII and ``NaN``/``Infinity`` are rejected (they are not JSON and
+    would make keys non-portable across parsers).  Two mappings that are
+    equal as dictionaries always produce identical text, regardless of
+    insertion order or the process that built them.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True, allow_nan=False
+    )
+
+
+def spec_kind(spec: RunSpec) -> str:
+    """The artifact kind a spec produces: ``"run"`` or ``"epochs"``.
+
+    A spec with a dynamics block is executed by
+    :func:`repro.api.run_dynamic` into an
+    :class:`~repro.dynamics.runner.EpochSet`; without one it is executed by
+    :func:`repro.api.run` into a :class:`~repro.api.executor.RunResult`.
+    The two never share a key even if the rest of the spec coincides.
+    """
+    return "epochs" if spec.dynamics is not None else "run"
+
+
+def spec_key(spec: RunSpec) -> str:
+    """The content address (64 hex chars) of the artifact ``spec`` produces.
+
+    Stable across processes, machines and dict orderings; distinct across
+    seeds, parameters, package versions and static/dynamic execution.
+
+    Example::
+
+        >>> from repro.api import AlgorithmSpec, DeploymentSpec, RunSpec
+        >>> spec = RunSpec(DeploymentSpec("uniform", {"nodes": 8}), AlgorithmSpec("cluster"))
+        >>> len(spec_key(spec)), spec_key(spec) == spec_key(RunSpec.from_json(spec.to_json()))
+        (64, True)
+    """
+    if not isinstance(spec, RunSpec):
+        raise TypeError(f"spec_key expects a RunSpec, got {type(spec).__name__}")
+    envelope = {
+        "format": STORE_FORMAT_VERSION,
+        "package": __version__,
+        "kind": spec_kind(spec),
+        "spec": spec.to_dict(),
+    }
+    return hashlib.sha256(canonical_json(envelope).encode("ascii")).hexdigest()

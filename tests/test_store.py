@@ -1,0 +1,496 @@
+"""Tests for the content-addressed experiment store (repro.store).
+
+Covers the cache-correctness edge cases the store exists to get right:
+
+* canonical spec hashing is stable across dict orderings, JSON round trips
+  and process restarts (a subprocess recomputes the same key), and pinned
+  by a golden digest so accidental recipe changes fail loudly;
+* warm-cache execution is bit-identical to cold execution, property-tested
+  over randomized specs (``RunResult.payload()`` comparison);
+* ``cache="refresh"`` overwrites, ``cache="off"`` bypasses;
+* corrupted artifacts (truncated NPZ / payload, checksum flips) raise a
+  helpful :class:`~repro.store.StoreIntegrityError` instead of silently
+  reusing damaged data;
+* GC removes corrupt/unreferenced entries but never deletes artifacts
+  referenced by a live collection manifest.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import api
+from repro.store import (
+    ExperimentStore,
+    StoreError,
+    StoreIntegrityError,
+    canonical_json,
+    spec_key,
+    spec_kind,
+)
+
+
+def small_spec(seed=0, nodes=12, algorithm="cluster"):
+    return api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": nodes, "area": 2.0}, seed=seed),
+        algorithm=api.AlgorithmSpec(algorithm, preset="fast"),
+    )
+
+
+def dynamic_spec(seed=0, epochs=3):
+    return small_spec(seed=seed).with_dynamics(
+        api.DynamicsSpec(
+            mobility=api.MobilitySpec("drift", {"sigma": 0.05}),
+            epochs=epochs,
+            events={"crash_prob": 0.1},
+            seed=7,
+        )
+    )
+
+
+# --------------------------------------------------------------------- #
+# Canonical hashing.
+# --------------------------------------------------------------------- #
+
+
+class TestSpecKey:
+    def test_is_64_hex_chars(self):
+        key = spec_key(small_spec())
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_stable_under_param_dict_ordering(self):
+        a = api.RunSpec(
+            deployment=api.DeploymentSpec("uniform", {"nodes": 12, "area": 2.0}, seed=1),
+            algorithm=api.AlgorithmSpec("cluster"),
+        )
+        b = api.RunSpec(
+            deployment=api.DeploymentSpec("uniform", {"area": 2.0, "nodes": 12}, seed=1),
+            algorithm=api.AlgorithmSpec("cluster"),
+        )
+        assert spec_key(a) == spec_key(b)
+
+    def test_stable_under_json_round_trip(self):
+        spec = dynamic_spec()
+        assert spec_key(spec) == spec_key(api.RunSpec.from_json(spec.to_json()))
+
+    def test_distinct_across_seed_params_and_dynamics(self):
+        base = small_spec(seed=0)
+        assert spec_key(base) != spec_key(base.with_seed(1))
+        assert spec_key(base) != spec_key(small_spec(nodes=13))
+        assert spec_key(base) != spec_key(dynamic_spec(seed=0))
+        assert spec_kind(base) == "run"
+        assert spec_kind(dynamic_spec()) == "epochs"
+
+    def test_stable_across_process_restarts(self):
+        """A fresh interpreter recomputes the identical key (restart stability)."""
+        spec = small_spec(seed=42)
+        script = (
+            "from repro import api\n"
+            "from repro.store import spec_key\n"
+            f"spec = api.RunSpec.from_json({spec.to_json()!r})\n"
+            "print(spec_key(spec))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(Path(repro.__file__).parents[1])},
+        )
+        assert out.stdout.strip() == spec_key(spec)
+
+    def test_golden_key_pins_the_recipe(self):
+        """Accidental canonicalization changes must fail here, loudly.
+
+        The expected digest depends on repro.__version__ on purpose (a
+        release bump is a deliberate cache invalidation); recompute it via
+        the documented recipe rather than hard-coding the hex.
+        """
+        import hashlib
+
+        spec = small_spec(seed=42)
+        envelope = {
+            "format": 1,
+            "package": repro.__version__,
+            "kind": "run",
+            "spec": spec.to_dict(),
+        }
+        expected = hashlib.sha256(
+            json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        assert spec_key(spec) == expected
+        # The literal digest for the current release (update on version bump:
+        # a changed key here is a deliberate cache invalidation, not a bug).
+        if repro.__version__ == "0.4.0":
+            assert spec_key(spec) == (
+                "71ed20f4417fe2ad43356809c3bc9e26e3246d6f76ae85d43797a78be1dbd821"
+            )
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_spec_key_rejects_non_specs(self):
+        with pytest.raises(TypeError):
+            spec_key({"deployment": {}})
+
+
+# --------------------------------------------------------------------- #
+# Round trips.
+# --------------------------------------------------------------------- #
+
+
+class TestRoundTrip:
+    def test_run_result_round_trip_bit_identical(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        result = api.run(small_spec(seed=3), store=store)
+        assert not result.cached
+        loaded = store.load_result(small_spec(seed=3))
+        assert loaded is not None
+        assert loaded.cached
+        assert loaded.payload() == result.payload()
+        assert loaded.elapsed == result.elapsed
+
+    def test_epochs_round_trip_bit_identical(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = dynamic_spec()
+        cold = api.run_dynamic(spec, store=store)
+        warm = api.run_dynamic(spec, store=store)
+        assert warm.payload() == cold.payload()
+        # The artifact really is columnar NPZ on disk.
+        entry_dir = store._entry_dir(spec_key(spec))
+        assert (entry_dir / "columns.npz").exists()
+
+    def test_load_miss_returns_none(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        assert store.load_result(small_spec()) is None
+        assert store.load_epochs(dynamic_spec()) is None
+        assert small_spec() not in store
+
+    def test_kind_mismatch_is_an_error_not_a_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        api.run(small_spec(), store=store)
+        key = spec_key(small_spec())
+        with pytest.raises(StoreError, match="not a dynamic run"):
+            store.load_epochs(key)
+
+    def test_refuses_foreign_directory(self, tmp_path):
+        foreign = tmp_path / "notastore"
+        foreign.mkdir()
+        (foreign / "data.txt").write_text("hello")
+        with pytest.raises(StoreError, match="not an experiment store"):
+            ExperimentStore(foreign)
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        nodes=st.integers(min_value=6, max_value=16),
+        algorithm=st.sampled_from(["cluster", "local-broadcast"]),
+    )
+    def test_warm_equals_cold_property(self, tmp_path_factory, seed, nodes, algorithm):
+        """Warm-cache results are bit-identical to cold execution (tentpole)."""
+        root = tmp_path_factory.mktemp("store")
+        spec = small_spec(seed=seed, nodes=nodes, algorithm=algorithm)
+        cold = api.run(spec, store=root / "s", cache="refresh")
+        warm = api.run(spec, store=root / "s", cache="reuse")
+        assert warm.cached and not cold.cached
+        assert warm.payload() == cold.payload()
+
+
+# --------------------------------------------------------------------- #
+# Cache modes through the executor.
+# --------------------------------------------------------------------- #
+
+
+class TestCacheModes:
+    def test_grid_resumes_partial(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        grid = [small_spec(seed=s) for s in range(4)]
+        api.run(grid[1], store=store)  # pre-populate one cell
+        results = api.run_grid(grid, store=store, parallel=False)
+        assert [r.cached for r in results] == [False, True, False, False]
+        warm = api.run_grid(grid, store=store, parallel=False)
+        assert all(r.cached for r in warm)
+        assert [r.payload() for r in warm] == [r.payload() for r in results]
+
+    def test_run_many_resumes_and_matches(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        cold = api.run_many(spec, seeds=range(3), store=store, parallel=False)
+        warm = api.run_many(spec, seeds=range(3), store=store, parallel=False)
+        assert all(r.cached for r in warm.results)
+        assert [r.payload() for r in warm.results] == [r.payload() for r in cold.results]
+
+    def test_refresh_overwrites(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec(seed=9)
+        api.run(spec, store=store)
+        key = spec_key(spec)
+        payload_path = store._entry_dir(key) / "payload.json"
+        before = payload_path.read_bytes()
+        # Tamper with a *valid* JSON payload (stale data, intact checksums
+        # would catch binary corruption; refresh must replace even healthy
+        # entries).  Rewrite manifest checksum so the entry stays "valid".
+        data = json.loads(before)
+        data["rounds"]["total"] = 1
+        stale = json.dumps(data, indent=2, sort_keys=True).encode()
+        payload_path.write_bytes(stale)
+        manifest_path = store._entry_dir(key) / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        import hashlib
+
+        manifest["files"]["payload.json"]["sha256"] = hashlib.sha256(stale).hexdigest()
+        manifest["files"]["payload.json"]["bytes"] = len(stale)
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        assert store.load_result(spec).rounds["total"] == 1  # stale value served
+        refreshed = api.run(spec, store=store, cache="refresh")
+        assert not refreshed.cached
+        assert store.load_result(spec).rounds["total"] == refreshed.rounds["total"] != 1
+
+    def test_cache_off_ignores_store(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        result = api.run(small_spec(), store=store, cache="off")
+        assert not result.cached
+        assert len(store) == 0
+
+    def test_invalid_cache_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cache must be one of"):
+            api.run(small_spec(), store=tmp_path / "store", cache="sometimes")
+
+    def test_store_accepts_path_strings(self, tmp_path):
+        result = api.run(small_spec(), store=str(tmp_path / "store"))
+        assert not result.cached
+        again = api.run(small_spec(), store=str(tmp_path / "store"))
+        assert again.cached
+
+
+# --------------------------------------------------------------------- #
+# Integrity.
+# --------------------------------------------------------------------- #
+
+
+class TestIntegrity:
+    def test_truncated_npz_raises_helpful_error(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = dynamic_spec()
+        api.run_dynamic(spec, store=store)
+        npz_path = store._entry_dir(spec_key(spec)) / "columns.npz"
+        blob = npz_path.read_bytes()
+        npz_path.write_bytes(blob[: len(blob) // 2])  # truncate
+        with pytest.raises(StoreIntegrityError) as excinfo:
+            api.run_dynamic(spec, store=store)
+        message = str(excinfo.value)
+        assert "columns.npz" in message
+        assert "checksum mismatch" in message
+        assert "store gc" in message or "refresh" in message
+
+    def test_flipped_payload_byte_raises(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        payload_path = store._entry_dir(spec_key(spec)) / "payload.json"
+        blob = bytearray(payload_path.read_bytes())
+        blob[10] ^= 0xFF
+        payload_path.write_bytes(bytes(blob))
+        with pytest.raises(StoreIntegrityError, match="corrupted"):
+            api.run(spec, store=store)
+
+    def test_missing_file_raises(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        (store._entry_dir(spec_key(spec)) / "payload.json").unlink()
+        with pytest.raises(StoreIntegrityError, match="missing file"):
+            store.load_result(spec)
+
+    def test_malformed_manifest_raises(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        (store._entry_dir(spec_key(spec)) / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreIntegrityError, match="manifest"):
+            store.load_result(spec)
+
+    def test_refresh_repairs_corrupt_entry(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        payload_path = store._entry_dir(spec_key(spec)) / "payload.json"
+        payload_path.write_bytes(b"garbage")
+        repaired = api.run(spec, store=store, cache="refresh")
+        assert store.load_result(spec).payload() == repaired.payload()
+
+
+# --------------------------------------------------------------------- #
+# Collections and GC.
+# --------------------------------------------------------------------- #
+
+
+class TestGC:
+    def test_gc_never_deletes_referenced_entries(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        kept = small_spec(seed=1)
+        pruned = small_spec(seed=2)
+        api.run(kept, store=store)
+        api.run(pruned, store=store)
+        store.write_manifest("experiment", [spec_key(kept)])
+        report = store.gc(prune_unreferenced=True)
+        assert report["pruned_unreferenced"] == [spec_key(pruned)]
+        assert store.load_result(kept) is not None
+        assert store.load_result(pruned) is None
+
+    def test_gc_keeps_referenced_even_when_corrupt(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec(seed=1)
+        api.run(spec, store=store)
+        store.write_manifest("experiment", [spec_key(spec)])
+        (store._entry_dir(spec_key(spec)) / "payload.json").write_bytes(b"garbage")
+        report = store.gc()
+        assert report["corrupt_kept"] == [spec_key(spec)]
+        assert spec_key(spec) in store.keys()
+
+    def test_gc_removes_unreferenced_corrupt(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec(seed=1)
+        api.run(spec, store=store)
+        (store._entry_dir(spec_key(spec)) / "payload.json").write_bytes(b"garbage")
+        report = store.gc()
+        assert report["removed_corrupt"] == [spec_key(spec)]
+        assert len(store) == 0
+
+    def test_incomplete_entry_is_cleaned_by_gc(self, tmp_path):
+        """Entry dir without manifest.json (interrupted write) is removable debris."""
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        (store._entry_dir(spec_key(spec)) / "manifest.json").unlink()
+        report = store.gc()
+        assert report["removed_corrupt"] == [spec_key(spec)]
+        assert not store._entry_dir(spec_key(spec)).exists()
+
+    def test_incomplete_entry_self_heals_on_next_run(self, tmp_path):
+        """A husk entry must not block persisting a freshly computed result."""
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        (store._entry_dir(spec_key(spec)) / "manifest.json").unlink()
+        recomputed = api.run(spec, store=store)  # miss (no manifest) -> computes
+        assert not recomputed.cached
+        healed = api.run(spec, store=store)  # the recomputation was persisted
+        assert healed.cached
+        assert healed.payload() == recomputed.payload()
+
+    def test_gc_clears_staging_debris(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        (store.root / "tmp" / "leftover").mkdir()
+        report = store.gc()
+        assert report["staging_debris"] == 1
+        assert not any((store.root / "tmp").iterdir())
+
+    def test_sweep_writes_protective_manifest(self, tmp_path):
+        from repro.experiments.sweeps import clustering_sweep
+
+        store = ExperimentStore(tmp_path / "store")
+        first = clustering_sweep(densities=(5,), store=store, parallel=False)
+        assert "sweep-clustering" in store.manifest_names()
+        keys = store.read_manifest("sweep-clustering")["keys"]
+        assert len(keys) == 1
+        # A warm re-run loads from the store and agrees point for point.
+        second = clustering_sweep(densities=(5,), store=store, parallel=False)
+        assert [p.rounds for p in second.points] == [p.rounds for p in first.points]
+        # GC with pruning keeps the sweep cells.
+        assert store.gc(prune_unreferenced=True)["pruned_unreferenced"] == []
+        assert len(store) == 1
+
+
+# --------------------------------------------------------------------- #
+# CLI store subcommands degrade cleanly on damaged stores.
+# --------------------------------------------------------------------- #
+
+
+class TestStoreCLI:
+    def test_show_prints_clean_error_on_corrupt_entry(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        key = spec_key(spec)
+        (store._entry_dir(key) / "payload.json").write_bytes(b"garbage")
+        code = main(["store", "show", key[:10], "--store", str(store.root)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "store gc" in captured.err  # the recovery hint survives to the user
+
+    def test_list_prints_clean_error_on_corrupt_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec()
+        api.run(spec, store=store)
+        (store._entry_dir(spec_key(spec)) / "manifest.json").write_text("{broken")
+        code = main(["store", "list", "--store", str(store.root)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rejects_non_store_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "data.txt").write_text("x")
+        code = main(["store", "list", "--store", str(foreign)])
+        assert code == 2
+        assert "not an experiment store" in capsys.readouterr().err
+
+    def test_inspection_subcommands_have_no_cache_flag(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["store", "gc", "--store", str(tmp_path), "--cache", "refresh"])
+
+
+# --------------------------------------------------------------------- #
+# Reporting loaders.
+# --------------------------------------------------------------------- #
+
+
+class TestReportingLoaders:
+    def test_table_from_store(self, tmp_path):
+        from repro.analysis.reporting import results_from_store, table_from_store
+
+        store = ExperimentStore(tmp_path / "store")
+        api.run_grid([small_spec(seed=s) for s in range(3)], store=store, parallel=False)
+        results = results_from_store(store)
+        assert len(results) == 3
+        assert all(r.cached for r in results)
+        rendered = table_from_store(store, title="demo").render()
+        assert "demo" in rendered
+        assert rendered.count("cluster") == 3
+
+    def test_table_from_manifest_collection(self, tmp_path):
+        from repro.analysis.reporting import table_from_store
+
+        store = ExperimentStore(tmp_path / "store")
+        specs = [small_spec(seed=s) for s in range(3)]
+        api.run_grid(specs, store=store, parallel=False)
+        store.write_manifest("half", [spec_key(specs[0])])
+        table = table_from_store(store, manifest="half")
+        assert len(table.rows) == 1
+
+    def test_epochs_entries_are_skipped(self, tmp_path):
+        from repro.analysis.reporting import results_from_store
+
+        store = ExperimentStore(tmp_path / "store")
+        api.run(small_spec(), store=store)
+        api.run_dynamic(dynamic_spec(), store=store)
+        assert len(results_from_store(store)) == 1
