@@ -26,8 +26,9 @@ def bench_config() -> AlgorithmConfig:
 def bench_backend() -> str:
     """Physics backend for the whole harness run.
 
-    Selected via the ``REPRO_BENCH_BACKEND`` environment variable (``dense``
-    or ``lazy``; default ``dense``), mirroring the CLI's ``--backend`` option:
+    Selected via the ``REPRO_BENCH_BACKEND`` environment variable (``dense``,
+    ``lazy`` or ``spatial``; default ``dense``), mirroring the CLI's
+    ``--backend`` option:
     pytest-benchmark owns the command line, so the harness takes its knob from
     the environment, e.g.::
 

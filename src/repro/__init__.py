@@ -47,7 +47,7 @@ Quickstart (direct simulator access)::
 #: content-addressed store keys (:mod:`repro.store`): bumping it deliberately
 #: invalidates cached artifacts, because results are only guaranteed
 #: reproducible against the exact code that produced them.
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 from .core import AlgorithmConfig, build_clustering, global_broadcast, local_broadcast
 from .simulation import SINRSimulator

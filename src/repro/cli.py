@@ -103,7 +103,8 @@ def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         choices=sorted(api.BACKENDS),
         default="dense",
-        help="physics backend: dense (O(n^2) gain matrix) or lazy (O(n) memory)",
+        help="physics backend: dense (O(n^2) gain matrix), lazy (O(n) memory) "
+        "or spatial (grid-indexed, for large n)",
     )
     parser.add_argument(
         "--dump-spec",
@@ -305,7 +306,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {name:20s} {doc[0] if doc else ''}")
     print("physics backends:")
     for name in sorted(api.BACKENDS):
-        print(f"  {name:20s} {api.BACKENDS[name].__name__}")
+        doc = (api.BACKENDS[name].__doc__ or "").strip().splitlines()
+        print(f"  {name:20s} {doc[0] if doc else ''}")
     print("config presets:")
     for name in api.CONFIG_PRESETS.names():
         print(f"  {name}")

@@ -3,9 +3,10 @@
 Every backend implements the :class:`~repro.sinr.backends.base.PhysicsBackend`
 protocol -- one round via ``receptions()``, a whole schedule via
 ``receptions_batch()`` -- and they are interchangeable everywhere a network or
-simulator needs physics.  Selection is by name (``"dense"`` or ``"lazy"``)
-through :func:`make_backend`, threaded from ``WirelessNetwork(backend=...)``,
-the deployment generators, and the CLI's ``--backend`` option.
+simulator needs physics.  Selection is by name (``"dense"``, ``"lazy"`` or
+``"spatial"``) through :func:`make_backend`, threaded from
+``WirelessNetwork(backend=...)``, the deployment generators, and the CLI's
+``--backend`` option.
 """
 
 from __future__ import annotations
@@ -18,11 +19,13 @@ from ..model import SINRParameters
 from .base import PhysicsBackend, Reception, RoundReceptions
 from .dense import DenseMatrixBackend
 from .lazy import LazyBlockBackend
+from .spatial import SpatialGridBackend
 
 #: Name -> backend class registry used by :func:`make_backend` and the CLI.
 BACKENDS = {
     "dense": DenseMatrixBackend,
     "lazy": LazyBlockBackend,
+    "spatial": SpatialGridBackend,
 }
 
 
@@ -33,7 +36,8 @@ def make_backend(
 ) -> PhysicsBackend:
     """Build (or pass through) a physics backend for a placement.
 
-    ``backend`` is a registry name (``"dense"``, ``"lazy"``) or an already
+    ``backend`` is a registry name (``"dense"``, ``"lazy"``, ``"spatial"``)
+    or an already
     constructed :class:`PhysicsBackend`, whose size must match ``positions``.
     """
     if isinstance(backend, PhysicsBackend):
@@ -58,5 +62,6 @@ __all__ = [
     "PhysicsBackend",
     "Reception",
     "RoundReceptions",
+    "SpatialGridBackend",
     "make_backend",
 ]

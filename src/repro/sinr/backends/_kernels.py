@@ -1,0 +1,154 @@
+"""Optional compiled kernels for the spatial backend's per-round hot path.
+
+Three small numeric primitives dominate a spatial round evaluation:
+
+* :func:`pair_gains` -- received power ``P / d^alpha`` for a flat list of
+  (transmitter position, listener position) pairs, with the co-located
+  clamp;
+* :func:`near_reduce` -- segment reduction of those pair gains onto their
+  listeners (total near-field power *and* strongest near-field gain in one
+  pass);
+* :func:`resolve_strongest` -- per-listener total power, strongest gain and
+  strongest-transmitter index over an exact ``(k, m)`` gain block (the
+  fallback path for listeners whose accept/reject decision the tile bounds
+  cannot certify).
+
+Each primitive has a pure-NumPy implementation and, when `numba
+<https://numba.pydata.org>`_ is importable, an ``@njit``-compiled fused-loop
+variant that avoids the intermediate arrays (the NumPy versions materialize
+``hypot``/``power`` temporaries and pay two passes for the sum+max
+reduction).  Selection happens once at import time; ``numba`` is an
+*optional* dependency (the ``[speed]`` extra) and nothing here imports it
+eagerly beyond the guarded probe.  Both variants are exercised in CI, and
+the property tests in ``tests/test_spatial_backend.py`` hold under either.
+
+``KERNEL_BACKEND`` reports which implementation is active (``"numba"`` or
+``"numpy"``); ``REPRO_NO_NUMBA=1`` in the environment forces the NumPy
+fallback even when numba is installed (used by CI to test both paths on one
+matrix entry).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["KERNEL_BACKEND", "dist_pow", "near_reduce", "pair_gains", "resolve_strongest"]
+
+
+# --------------------------------------------------------------------- #
+# Pure-NumPy implementations (always available, the reference semantics).
+# --------------------------------------------------------------------- #
+
+
+def dist_pow(dist_sq, alpha):
+    """``d^alpha`` from squared distances, fast-pathing integral exponents.
+
+    ``np.power`` with a float scalar exponent is a libm call per element and
+    dominates exact-evaluation profiles; the physically common integral
+    path-loss exponents (alpha = 2, 3, 4, ...) decompose into multiplies and
+    at most one square root (last-ulp differences only, well inside the
+    documented cross-backend tolerance).
+    """
+    ia = int(alpha)
+    if alpha == ia and 1 <= ia <= 8:
+        half, odd = divmod(ia, 2)
+        out = None
+        for _ in range(half):
+            out = dist_sq if out is None else out * dist_sq
+        if odd:
+            root = np.sqrt(dist_sq)
+            out = root if out is None else out * root
+        # ia == 2 aliases the input; callers never mutate the result.
+        return out
+    return np.power(np.sqrt(dist_sq), alpha)
+
+
+def _pair_gains_numpy(tx_xy, rx_xy, power, alpha, colocated_gain):
+    """``P / d^alpha`` per (transmitter, listener) position pair."""
+    diff = tx_xy - rx_xy
+    dist_sq = diff[:, 0] * diff[:, 0] + diff[:, 1] * diff[:, 1]
+    with np.errstate(divide="ignore"):
+        gains = power / dist_pow(dist_sq, alpha)
+    gains[np.isinf(gains)] = colocated_gain
+    return gains
+
+
+def _near_reduce_numpy(listener_idx, gains, num_listeners):
+    """Per-listener (sum, max) of the pair gains (segment reduction)."""
+    sums = np.bincount(listener_idx, weights=gains, minlength=num_listeners)
+    maxs = np.zeros(num_listeners, dtype=np.float64)
+    np.maximum.at(maxs, listener_idx, gains)
+    return sums, maxs
+
+
+def _resolve_strongest_numpy(block):
+    """Per-column (total, best gain, best row index) of a gain block."""
+    totals = block.sum(axis=0)
+    best_idx = block.argmax(axis=0)
+    best_gain = block[best_idx, np.arange(block.shape[1])]
+    return totals, best_gain, best_idx
+
+
+# --------------------------------------------------------------------- #
+# Numba-compiled variants (selected when importable and not disabled).
+# --------------------------------------------------------------------- #
+
+KERNEL_BACKEND = "numpy"
+pair_gains = _pair_gains_numpy
+near_reduce = _near_reduce_numpy
+resolve_strongest = _resolve_strongest_numpy
+
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:
+        from numba import njit
+    except ImportError:  # numba is optional: the [speed] extra
+        njit = None
+
+    if njit is not None:
+
+        @njit(cache=True)
+        def _pair_gains_nb(tx_xy, rx_xy, power, alpha, colocated_gain):  # pragma: no cover
+            out = np.empty(tx_xy.shape[0], dtype=np.float64)
+            for i in range(tx_xy.shape[0]):
+                dx = tx_xy[i, 0] - rx_xy[i, 0]
+                dy = tx_xy[i, 1] - rx_xy[i, 1]
+                dist = np.sqrt(dx * dx + dy * dy)
+                if dist > 0.0:
+                    out[i] = power / dist**alpha
+                else:
+                    out[i] = colocated_gain
+            return out
+
+        @njit(cache=True)
+        def _near_reduce_nb(listener_idx, gains, num_listeners):  # pragma: no cover
+            sums = np.zeros(num_listeners, dtype=np.float64)
+            maxs = np.zeros(num_listeners, dtype=np.float64)
+            for i in range(listener_idx.size):
+                j = listener_idx[i]
+                g = gains[i]
+                sums[j] += g
+                if g > maxs[j]:
+                    maxs[j] = g
+            return sums, maxs
+
+        @njit(cache=True)
+        def _resolve_strongest_nb(block):  # pragma: no cover
+            k, m = block.shape
+            totals = np.zeros(m, dtype=np.float64)
+            best_gain = np.zeros(m, dtype=np.float64)
+            best_idx = np.zeros(m, dtype=np.int64)
+            for i in range(k):
+                for j in range(m):
+                    g = block[i, j]
+                    totals[j] += g
+                    if g > best_gain[j]:
+                        best_gain[j] = g
+                        best_idx[j] = i
+            return totals, best_gain, best_idx
+
+        KERNEL_BACKEND = "numba"
+        pair_gains = _pair_gains_nb
+        near_reduce = _near_reduce_nb
+        resolve_strongest = _resolve_strongest_nb

@@ -34,6 +34,20 @@ class DenseMatrixBackend(PhysicsBackend):
         The :class:`~repro.sinr.model.SINRParameters` of the environment.
     distances:
         Alternatively, a symmetric pairwise-distance matrix (abstract metric).
+    gain_dtype:
+        Storage dtype of the precomputed gain matrix (``np.float64``, the
+        default, or ``np.float32``).  float32 halves the dominant memory
+        cost (the gain matrix) at ~1e-7 relative storage rounding; gains
+        are computed in float64 before the downcast, ``gain_block`` widens
+        back to float64 on gather, and all SINR arithmetic stays float64,
+        so the only deviation from the default is the rounding of the
+        stored matrix entries (plus float32 accumulation in the batched
+        GEMM totals).  Opt-in: reception decisions within ~1e-7 of the
+        threshold (or strongest-sender ties within ~1e-7 relative) may
+        resolve differently from float64 storage, and the reported SINR of
+        very strong receptions (near-colocated senders) carries amplified
+        relative error -- the *reciprocal* SINR stays accurate to ~1e-5,
+        which is the framing threshold decisions live in.
     """
 
     def __init__(
@@ -41,6 +55,7 @@ class DenseMatrixBackend(PhysicsBackend):
         positions: Optional[np.ndarray],
         params: SINRParameters,
         distances: Optional[np.ndarray] = None,
+        gain_dtype: type = np.float64,
     ) -> None:
         super().__init__(params)
         if distances is None:
@@ -62,16 +77,24 @@ class DenseMatrixBackend(PhysicsBackend):
             self._positions = (
                 np.asarray(positions, dtype=float) if positions is not None else None
             )
+        gain_dtype = np.dtype(gain_dtype)
+        if gain_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"gain_dtype must be float64 or float32, got {gain_dtype}")
+        self._gain_dtype = gain_dtype
+        # Co-located distinct nodes would have infinite gain; the clamp keeps
+        # arithmetic well defined (reception from a co-located node trivially
+        # succeeds when it is the only transmitter).  The clamp must be
+        # representable in the storage dtype with headroom for summation, so
+        # float32 storage uses its own scaled-down ceiling.
+        self._colocated_gain = min(
+            COLOCATED_GAIN, float(np.finfo(gain_dtype).max) / 2**8
+        )
         self._n = len(distances)
-        # Co-located distinct nodes would have infinite gain; COLOCATED_GAIN
-        # clamps them to a huge finite value so that arithmetic stays well
-        # defined (reception from a co-located node trivially succeeds when
-        # it is the only transmitter).
         with np.errstate(divide="ignore"):
             gains = params.power / np.power(distances, params.alpha)
         np.fill_diagonal(gains, 0.0)
-        gains[np.isinf(gains)] = COLOCATED_GAIN
-        self._gains = gains
+        gains[np.isinf(gains)] = self._colocated_gain
+        self._gains = gains.astype(gain_dtype, copy=False)
         self._distances = distances
         self._topk: Optional[np.ndarray] = None
 
@@ -117,8 +140,12 @@ class DenseMatrixBackend(PhysicsBackend):
         return float(self._gains[sender, receiver])
 
     def gain_block(self, senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
-        """Gather the requested sub-matrix of the precomputed gain matrix."""
-        return self._gains[np.ix_(senders, receivers)]
+        """Gather the requested sub-matrix of the precomputed gain matrix.
+
+        Always float64: with float32 storage the gather widens, so the SINR
+        arithmetic downstream is float64 regardless of the storage dtype.
+        """
+        return self._gains[np.ix_(senders, receivers)].astype(np.float64, copy=False)
 
     # ------------------------------------------------------------------ #
     # Incremental placement mutation.
@@ -141,7 +168,7 @@ class DenseMatrixBackend(PhysicsBackend):
         with np.errstate(divide="ignore"):
             gains = self._params.power / np.power(distances, self._params.alpha)
         gains[np.arange(len(row_indices)), row_indices] = 0.0
-        gains[np.isinf(gains)] = COLOCATED_GAIN
+        gains[np.isinf(gains)] = self._colocated_gain
         return gains
 
     def update_positions(self, indices: np.ndarray, new_xy: np.ndarray) -> None:
@@ -185,8 +212,10 @@ class DenseMatrixBackend(PhysicsBackend):
         self._positions = grown
         self._distances = distances
         self._n = n
-        gain_band = self._gain_rows(dist, np.arange(old_n, n))
-        gains = np.empty((n, n))
+        gain_band = self._gain_rows(dist, np.arange(old_n, n)).astype(
+            self._gain_dtype, copy=False
+        )
+        gains = np.empty((n, n), dtype=self._gain_dtype)
         gains[:old_n, :old_n] = self._gains
         gains[old_n:, :] = gain_band
         gains[:, old_n:] = gain_band.T
@@ -366,7 +395,9 @@ class DenseMatrixBackend(PhysicsBackend):
                 continue
             members_chunk = tx_members[lo:hi]
             # One BLAS product yields every round's per-listener total power.
-            membership = np.zeros((end - start, n))
+            # The membership matrix matches the gain storage dtype so a
+            # float32 matrix multiplies without an O(n^2) float64 upcast.
+            membership = np.zeros((end - start, n), dtype=gains.dtype)
             membership[round_ids_all[lo:hi] - start, members_chunk] = 1.0
             totals = membership @ gains_rx
 
@@ -387,8 +418,10 @@ class DenseMatrixBackend(PhysicsBackend):
                     senders[missed] = tx_slice[sub.argmax(axis=0)]
                 in_tx[tx_slice] = False
 
-                best_gain = gains_rx[senders, cols]
-                total_power = totals[t - start]
+                # Widen to float64 before the SINR arithmetic so float32
+                # storage only contributes its rounding of the stored gains.
+                best_gain = gains_rx[senders, cols].astype(np.float64, copy=False)
+                total_power = totals[t - start].astype(np.float64, copy=False)
                 best_sinr = best_gain / (noise + (total_power - best_gain))
                 ok = best_sinr >= threshold
                 # Half-duplex: a round's transmitters never receive in it.

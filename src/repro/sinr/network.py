@@ -4,7 +4,8 @@
 
 * the node placement (positions, unique IDs),
 * the :class:`~repro.sinr.backends.PhysicsBackend` evaluating SINR receptions
-  (selected by the ``backend`` argument: dense matrix or lazy blocks),
+  (selected by the ``backend`` argument: dense matrix, lazy blocks or the
+  spatial grid),
 * the *communication graph* (edges between nodes at distance <= 1 - eps,
   Section 1.1),
 * the global knowledge every node shares: the ID space bound ``N``, the
@@ -62,8 +63,9 @@ class WirelessNetwork:
     backend:
         Physics backend evaluating SINR receptions: ``"dense"`` (default,
         precomputed O(n^2) gain matrix), ``"lazy"`` (O(n) memory, gain blocks
-        computed on demand -- use for n >> 10^4), or an already constructed
-        :class:`~repro.sinr.backends.PhysicsBackend`.
+        computed on demand), ``"spatial"`` (uniform-grid index with certified
+        far-field bounds -- use for n >> 10^4, scales to n = 10^6), or an
+        already constructed :class:`~repro.sinr.backends.PhysicsBackend`.
     """
 
     def __init__(

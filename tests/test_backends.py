@@ -242,7 +242,7 @@ class TestBackendSelection:
             make_backend(backend, positions[:3], params)
 
     def test_registry_names(self):
-        assert set(BACKENDS) == {"dense", "lazy"}
+        assert set(BACKENDS) == {"dense", "lazy", "spatial"}
         for cls in BACKENDS.values():
             assert issubclass(cls, PhysicsBackend)
 

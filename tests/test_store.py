@@ -126,9 +126,9 @@ class TestSpecKey:
         assert spec_key(spec) == expected
         # The literal digest for the current release (update on version bump:
         # a changed key here is a deliberate cache invalidation, not a bug).
-        if repro.__version__ == "0.4.0":
+        if repro.__version__ == "0.5.0":
             assert spec_key(spec) == (
-                "71ed20f4417fe2ad43356809c3bc9e26e3246d6f76ae85d43797a78be1dbd821"
+                "602210e0a336eeb2b1d0d4d42261f76eb02e92ebba9e2d05325df0819d1f0d1d"
             )
 
     def test_canonical_json_rejects_nan(self):
