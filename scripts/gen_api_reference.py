@@ -50,6 +50,10 @@ MODULES = {
         "sweeps.md",
         "Parameter-sweep runners assembling RunSpec grids over the executor.",
     ),
+    "repro.testing.faults": (
+        "testing-faults.md",
+        "Seeded fault injection: deterministic chaos plans for robustness tests.",
+    ),
     "repro.analysis.reporting": (
         "reporting.md",
         "ExperimentTable rendering and loaders that build tables from stored artifacts.",

@@ -33,7 +33,10 @@ The CLI (:mod:`repro.cli`) and the sweep runners
 """
 
 from .executor import (
+    ON_ERROR_POLICIES,
     AlgorithmOutcome,
+    FailedResult,
+    GridExecutionError,
     RunResult,
     RunSet,
     build_deployment,
@@ -78,8 +81,11 @@ __all__ = [
     "DynamicsSpec",
     "EpochResult",
     "EpochSet",
+    "FailedResult",
+    "GridExecutionError",
     "MOBILITY",
     "MobilitySpec",
+    "ON_ERROR_POLICIES",
     "Registry",
     "RunResult",
     "RunSet",

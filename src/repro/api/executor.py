@@ -7,8 +7,9 @@ measured results:
   :class:`~repro.simulation.engine.SINRSimulator`, call the registered
   algorithm runner and return a :class:`RunResult`;
 * :func:`run_grid` -- execute any list of specs, fanning out across a
-  ``ProcessPoolExecutor`` (``parallel=False`` opts out; the default probes
-  for multiprocessing support and falls back to serial execution);
+  *supervised* process pool (:mod:`repro.api.supervisor`;
+  ``parallel=False`` opts out; the default probes for multiprocessing
+  support and falls back to serial execution);
 * :func:`run_many` -- the multi-seed ensemble primitive: one base spec
   re-seeded across ``seeds``, executed via :func:`run_grid`, collected into
   a columnar :class:`RunSet`.
@@ -16,7 +17,18 @@ measured results:
 All entry points accept ``store=`` / ``cache=`` for the content-addressed
 result cache (:mod:`repro.store`): stored cells are loaded instead of
 executed, so interrupted grids resume and warm re-runs are near-instant,
-bit-identical to cold execution.
+bit-identical to cold execution.  Grid cells are committed to the store
+*as they finish*, so a crash, hang or interrupt mid-sweep never discards
+completed work.
+
+The grid fan-out is fault-tolerant: ``timeout=`` cancels hung cells (the
+worker is recycled), ``retries=`` re-runs failed cells with exponential
+backoff and deterministic jitter, and ``on_error=`` decides what a cell
+that exhausts its attempts does -- ``"raise"`` (default) propagates the
+failure, ``"skip"`` / ``"retry"`` quarantine the cell as a structured
+:class:`FailedResult` (spec, attempt count, cause, traceback) while every
+other cell keeps running.  A worker death (hard exit, OOM kill) is a
+per-cell event, not a grid abort.  See ``docs/guide/reliability.md``.
 
 Every algorithm in the registry is deterministic given its spec (the
 paper's constructions are seeded), so parallel execution is bit-identical
@@ -34,9 +46,8 @@ import json
 import multiprocessing
 import os
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -44,9 +55,13 @@ from ..analysis.reporting import ExperimentTable
 from ..simulation import SINRSimulator
 from .registry import ALGORITHMS, DEPLOYMENTS
 from .specs import RunSpec
+from .supervisor import CellFailure, CellSuccess, PoolUnavailable, SupervisedPool, backoff_delay
 
 __all__ = [
+    "ON_ERROR_POLICIES",
     "AlgorithmOutcome",
+    "FailedResult",
+    "GridExecutionError",
     "RunResult",
     "RunSet",
     "build_deployment",
@@ -55,6 +70,9 @@ __all__ = [
     "run_grid",
     "run_many",
 ]
+
+#: Valid ``on_error=`` policies for the grid entry points.
+ON_ERROR_POLICIES = ("raise", "skip", "retry")
 
 
 @dataclass(frozen=True)
@@ -96,6 +114,10 @@ class RunResult:
     raw: Any = None
     cached: bool = False
 
+    #: Class-level discriminator against :class:`FailedResult` (grids with
+    #: ``on_error="skip"|"retry"`` mix the two; filter on ``.failed``).
+    failed = False
+
     @property
     def seed(self) -> int:
         """The placement seed this result was measured at."""
@@ -134,6 +156,90 @@ class RunResult:
         )
 
 
+@dataclass(frozen=True)
+class FailedResult:
+    """A grid cell that exhausted its attempts: the quarantine record.
+
+    Produced by :func:`run_grid` / :func:`run_many` under
+    ``on_error="skip"`` or ``"retry"`` in place of the
+    :class:`RunResult` the cell would have yielded.  ``kind`` is
+    ``"exception"`` (the cell raised; ``message`` carries the worker-side
+    traceback), ``"timeout"`` (the attempt exceeded ``timeout=`` and was
+    cancelled) or ``"worker-death"`` (the worker process died mid-cell --
+    a hard exit, OOM kill or segfault).  ``attempts`` counts every
+    execution attempt including retries; ``elapsed`` is the wall-clock
+    spent across all of them.
+
+    Failed cells are never committed to a store, so re-running the same
+    grid with ``store=``/``cache="reuse"`` executes exactly the quarantined
+    cells and nothing else.
+    """
+
+    spec: RunSpec
+    kind: str
+    message: str
+    attempts: int
+    elapsed: float = 0.0
+
+    #: Class-level discriminator against :class:`RunResult`.
+    failed = True
+
+    @property
+    def seed(self) -> int:
+        """The placement seed of the failed cell."""
+        return self.spec.seed
+
+    def all_checks_pass(self) -> bool:
+        """Always ``False``: a quarantined cell verified nothing."""
+        return False
+
+    def summary_line(self) -> str:
+        """One human-readable line for failure reports."""
+        reason = self.message.strip().splitlines()[-1] if self.message.strip() else self.kind
+        return (
+            f"seed {self.seed} [{self.spec.algorithm.name} on "
+            f"{self.spec.deployment.kind}]: {self.kind} after "
+            f"{self.attempts} attempt(s) -- {reason}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-representable form (inverse of :meth:`from_dict`)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "failed": True,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailedResult":
+        """Rebuild a quarantine record from :meth:`to_dict` output."""
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            kind=str(data["kind"]),
+            message=str(data.get("message", "")),
+            attempts=int(data.get("attempts", 1)),
+            elapsed=float(data.get("elapsed", 0.0)),
+        )
+
+
+class GridExecutionError(RuntimeError):
+    """A grid cell failed terminally under ``on_error="raise"``.
+
+    Raised for failure kinds that carry no original exception object
+    (timeouts, worker deaths, unpicklable worker exceptions); when the
+    worker's exception pickled cleanly it is re-raised directly instead,
+    so ``on_error="raise"`` is a drop-in for the historical behavior.
+    ``failure`` holds the structured :class:`FailedResult`.
+    """
+
+    def __init__(self, failure: FailedResult) -> None:
+        super().__init__(failure.summary_line())
+        self.failure = failure
+
+
 def _plain(value: Any) -> Any:
     """Coerce containers/NumPy scalars to plain JSON types (deep)."""
     if isinstance(value, dict):
@@ -152,11 +258,24 @@ class RunSet:
     ensembles plug straight into analysis code, and :meth:`table` renders an
     :class:`~repro.analysis.reporting.ExperimentTable` for the reporting
     layer.
+
+    Under ``on_error="skip"|"retry"`` quarantined cells land in
+    ``failures`` (a tuple of :class:`FailedResult`), keeping ``results``
+    and every columnar accessor success-only; :meth:`all_checks_pass` is
+    ``False`` whenever any cell was quarantined.
     """
 
-    def __init__(self, spec: RunSpec, results: Sequence[RunResult], parallel: bool = False) -> None:
+    def __init__(
+        self,
+        spec: RunSpec,
+        results: Sequence[RunResult],
+        parallel: bool = False,
+        failures: Sequence[FailedResult] = (),
+    ) -> None:
         self.spec = spec
         self.results: Tuple[RunResult, ...] = tuple(results)
+        #: Quarantined cells (empty unless on_error="skip"|"retry" was used).
+        self.failures: Tuple[FailedResult, ...] = tuple(failures)
         #: Whether the ensemble actually executed on a process pool.
         self.executed_parallel = bool(parallel)
 
@@ -208,7 +327,9 @@ class RunSet:
         return iter(self.results)
 
     def all_checks_pass(self) -> bool:
-        """Whether every check of every seed passed."""
+        """Whether every check of every seed passed (and no cell failed)."""
+        if self.failures:
+            return False
         return all(result.all_checks_pass() for result in self.results)
 
     def summary(self) -> Dict[str, Any]:
@@ -230,6 +351,7 @@ class RunSet:
             "all_checks_pass": self.all_checks_pass(),
             "elapsed_total": float(self.elapsed.sum()),
             "executed_parallel": self.executed_parallel,
+            "failures": len(self.failures),
         }
 
     def table(self, title: Optional[str] = None) -> ExperimentTable:
@@ -252,15 +374,23 @@ class RunSet:
             )
         if check_keys:
             table.add_note(f"checks: {', '.join(check_keys)}")
+        if self.failures:
+            table.add_note(
+                f"quarantined: {len(self.failures)} cell(s) -- "
+                + "; ".join(f"seed {f.seed} ({f.kind})" for f in self.failures)
+            )
         return table
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-representable form: base spec, per-seed results, summary."""
-        return {
+        data = {
             "spec": self.spec.to_dict(),
             "results": [result.to_dict() for result in self.results],
             "summary": self.summary(),
         }
+        if self.failures:
+            data["failures"] = [failure.to_dict() for failure in self.failures]
+        return data
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Serialize the whole ensemble as a JSON artifact."""
@@ -401,10 +531,52 @@ def run_dynamic(spec: RunSpec, store=None, cache: str = "reuse"):
     return trajectory
 
 
-def _run_payload(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: spec dictionary in, result dictionary out."""
-    result = run(RunSpec.from_dict(spec_dict), keep_raw=False)
-    return result.to_dict()
+def _supervised_payload(spec_dict: Dict[str, Any], attempt: int) -> Dict[str, Any]:
+    """Worker entry point: spec dictionary + attempt number in, result out.
+
+    The fault-injection hook fires first (a no-op without an installed
+    :class:`~repro.testing.faults.FaultPlan`), so chaos tests hit exactly
+    the cells and attempts their plan names.
+    """
+    spec = RunSpec.from_dict(spec_dict)
+    from ..testing.faults import fire_if_planned
+
+    fire_if_planned(spec, attempt)
+    return run(spec, keep_raw=False).to_dict()
+
+
+def _run_cell_serial(
+    spec: RunSpec, keep_raw: bool, retries: int, backoff: float
+) -> Tuple[Optional[RunResult], Optional[Tuple[BaseException, str, int, float]]]:
+    """One cell in-process, honoring the retry/backoff policy.
+
+    Returns ``(result, None)`` on success or ``(None, (exception,
+    traceback_text, attempts, elapsed))`` when every attempt failed.  The
+    per-cell ``timeout`` cannot be enforced without a worker process to
+    cancel, so the serial path ignores it (documented in
+    :func:`run_grid`).
+    """
+    import traceback as _traceback
+
+    from ..testing.faults import fire_if_planned
+
+    attempt = 1
+    spent = 0.0
+    while True:
+        started = time.perf_counter()
+        try:
+            fire_if_planned(spec, attempt)
+            result = run(spec, keep_raw=keep_raw)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            spent += time.perf_counter() - started
+            if attempt <= retries:
+                time.sleep(backoff_delay(backoff, attempt, spec.seed))
+                attempt += 1
+                continue
+            return None, (exc, _traceback.format_exc(), attempt, spent)
+        return result, None
 
 
 def _default_workers(jobs: int) -> int:
@@ -455,29 +627,66 @@ def run_grid(
     keep_raw: bool = False,
     store=None,
     cache: str = "reuse",
-) -> List[RunResult]:
-    """Execute a list of specs, in spec order, optionally on a process pool.
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
+) -> List[Union[RunResult, "FailedResult"]]:
+    """Execute a list of specs, in spec order, on a supervised process pool.
 
-    ``parallel=None`` (the default) uses a pool when there is more than one
-    spec and multiprocessing is available, silently falling back to serial
-    execution where process creation is forbidden (sandboxes, some CI
-    runners).  ``parallel=True`` forces the pool (errors propagate);
+    ``parallel=None`` (the default) uses the pool when there is more than
+    one spec and multiprocessing is available, silently falling back to
+    serial execution where process creation is forbidden (sandboxes, some
+    CI runners).  ``parallel=True`` forces the pool (errors propagate);
     ``parallel=False`` forces serial execution.  Results are identical
     either way -- only ``RunResult.elapsed`` and ``RunResult.raw`` (dropped
     by the pool, retained serially when ``keep_raw``) differ.
 
-    With ``store=`` the grid becomes *resumable*: already-stored cells are
-    loaded (``cached=True``) and only the missing cells execute -- an
-    interrupted sweep picks up where it stopped, and a warm re-run touches
-    no simulator at all.  ``cache="refresh"`` recomputes every cell and
-    overwrites; ``"off"`` ignores the store.  Cell order is preserved
-    regardless of the hit/miss split.
+    Failure policy (see ``docs/guide/reliability.md``):
+
+    * ``timeout=`` -- per-*attempt* wall-clock budget in seconds; a hung
+      cell is cancelled and its worker recycled.  Enforceable only on the
+      pool (the serial path has no process to cancel and ignores it).
+    * ``retries=`` -- failed cells (exception, timeout or worker death)
+      are re-executed up to this many extra times, with exponential
+      backoff (base ``backoff`` seconds) and deterministic jitter.
+      Ignored under ``on_error="skip"``.
+    * ``on_error=`` -- what a cell that exhausts its attempts does:
+      ``"raise"`` (default) propagates the failure (the worker's exception
+      when it pickled, else a :class:`GridExecutionError`); ``"skip"``
+      quarantines the cell immediately as a :class:`FailedResult` without
+      retrying; ``"retry"`` retries first, then quarantines.  Quarantined
+      cells never abort the rest of the grid.
+
+    A worker dying (hard exit, OOM kill, segfault) affects only the cell
+    it was running: the supervisor spawns a replacement and the grid keeps
+    going.  With ``store=`` every finished cell is committed *as it
+    completes*, so a crash or interrupt mid-grid never discards completed
+    work: already-stored cells are loaded (``cached=True``) on the next
+    run and only the missing (including previously-failed) cells execute.
+    ``cache="refresh"`` recomputes every cell and overwrites; ``"off"``
+    ignores the store.  Cell order is preserved regardless of the
+    hit/miss split or completion order.
     """
     results, _ = _run_grid(
         specs, parallel=parallel, max_workers=max_workers, keep_raw=keep_raw,
-        store=store, cache=cache,
+        store=store, cache=cache, timeout=timeout, retries=retries,
+        on_error=on_error, backoff=backoff,
     )
     return results
+
+
+def _validate_policy(on_error: str, timeout: Optional[float], retries: int) -> int:
+    """Check the failure-policy knobs; returns the effective retry budget."""
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {', '.join(ON_ERROR_POLICIES)}; got {on_error!r}"
+        )
+    if timeout is not None and float(timeout) <= 0:
+        raise ValueError(f"timeout must be positive (got {timeout!r})")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0 (got {retries!r})")
+    return 0 if on_error == "skip" else int(retries)
 
 
 def _run_grid(
@@ -487,58 +696,141 @@ def _run_grid(
     keep_raw: bool,
     store=None,
     cache: str = "reuse",
-) -> Tuple[List[RunResult], bool]:
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
+) -> Tuple[List[Union[RunResult, "FailedResult"]], bool]:
     """:func:`run_grid` plus a flag for whether the pool was actually used."""
     specs = list(specs)
+    effective_retries = _validate_policy(on_error, timeout, retries)
     cache_store = _resolve_store(store, cache)
     if not specs:
         return [], False
-    if cache_store is not None:
-        slots: List[Optional[RunResult]] = [None] * len(specs)
+    slots: List[Optional[Union[RunResult, FailedResult]]] = [None] * len(specs)
+    if cache_store is not None and cache == "reuse":
         misses: List[int] = []
-        if cache == "reuse":
-            for i, spec in enumerate(specs):
-                hit = cache_store.load_result(spec)
-                if hit is not None:
-                    slots[i] = hit
-                else:
-                    misses.append(i)
-        else:  # refresh: recompute everything, overwrite below
-            misses = list(range(len(specs)))
-        computed, used_pool = _run_grid(
-            [specs[i] for i in misses], parallel=parallel,
-            max_workers=max_workers, keep_raw=keep_raw,
-        )
-        for i, result in zip(misses, computed):
-            cache_store.put_result(result, overwrite=(cache == "refresh"))
-            slots[i] = result
-        filled = [result for result in slots if result is not None]
-        if len(filled) != len(specs):
-            raise RuntimeError("cache bookkeeping lost a grid cell (this is a bug)")
-        return filled, used_pool
-    want_parallel = parallel if parallel is not None else len(specs) > 1
+        for i, spec in enumerate(specs):
+            hit = cache_store.load_result(spec)
+            if hit is not None:
+                slots[i] = hit
+            else:
+                misses.append(i)
+    else:  # no store, or refresh: (re)compute everything
+        misses = list(range(len(specs)))
+    if not misses:
+        return [slot for slot in slots if slot is not None], False
+
+    overwrite = cache == "refresh"
+    unsettled: Set[int] = set(misses)
+
+    def settle(index: int, outcome: Union[RunResult, FailedResult]) -> None:
+        # Called the moment a cell finishes (in completion order): commits
+        # to the store immediately, so interrupted grids keep finished work.
+        slots[index] = outcome
+        unsettled.discard(index)
+        if cache_store is not None and not outcome.failed:
+            cache_store.put_result(outcome, overwrite=overwrite)
+
+    miss_specs = [specs[i] for i in misses]
+    want_parallel = parallel if parallel is not None else len(miss_specs) > 1
+    context = None
     if want_parallel:
         context = _pool_context()
-        if parallel is None and not _workers_can_resolve(specs, context):
+        if parallel is None and not _workers_can_resolve(miss_specs, context):
             # Spawned workers would fail the registry lookup for runtime-
             # registered entries; stay in-process rather than crash.
             want_parallel = False
+    used_pool = False
     if want_parallel:
-        payloads = [spec.to_dict() for spec in specs]
         try:
-            with ProcessPoolExecutor(
-                max_workers=max_workers or _default_workers(len(specs)), mp_context=context
-            ) as pool:
-                dicts = list(pool.map(_run_payload, payloads))
-            return [RunResult.from_dict(data) for data in dicts], True
-        except (OSError, PermissionError, BrokenExecutor):
-            # Sandboxes and locked-down CI runners forbid or kill worker
-            # processes in several shapes: process creation fails (OSError /
-            # PermissionError), or workers die at spawn/exec time and the
-            # pool surfaces BrokenExecutor.
+            used_pool = _run_cells_pooled(
+                specs, misses, settle, context,
+                max_workers=max_workers or _default_workers(len(miss_specs)),
+                timeout=timeout, retries=effective_retries,
+                on_error=on_error, backoff=backoff,
+            )
+        except (OSError, PermissionError, PoolUnavailable):
+            # Process creation is forbidden (sandboxes, locked-down CI
+            # runners) or every worker died and none could be respawned.
+            # Cells the pool already settled -- committed to the store --
+            # are kept; only the remainder re-runs on the serial leg below.
             if parallel:  # explicitly requested -- surface the failure
                 raise
-    return [run(spec, keep_raw=keep_raw) for spec in specs], False
+    for i in sorted(unsettled):
+        result, failure = _run_cell_serial(
+            specs[i], keep_raw=keep_raw, retries=effective_retries, backoff=backoff
+        )
+        if failure is None:
+            assert result is not None
+            settle(i, result)
+            continue
+        exc, text, attempts, spent = failure
+        if on_error == "raise":
+            raise exc  # the original exception: historical behavior
+        settle(
+            i,
+            FailedResult(
+                spec=specs[i], kind="exception", message=text,
+                attempts=attempts, elapsed=spent,
+            ),
+        )
+    if any(slot is None for slot in slots):
+        raise RuntimeError("grid bookkeeping lost a cell (this is a bug)")
+    return [slot for slot in slots if slot is not None], used_pool
+
+
+def _run_cells_pooled(
+    specs: Sequence[RunSpec],
+    indices: Sequence[int],
+    settle: Callable[[int, Union[RunResult, "FailedResult"]], None],
+    context,
+    max_workers: int,
+    timeout: Optional[float],
+    retries: int,
+    on_error: str,
+    backoff: float,
+) -> bool:
+    """Fan the miss cells over a :class:`SupervisedPool`, settling each as it finishes.
+
+    Raises :class:`PoolUnavailable` (or ``OSError``/``PermissionError``)
+    when workers cannot be started; cells settled before that point have
+    already been delivered through ``settle``.  On ``KeyboardInterrupt``
+    the pool is drained first so results that finished in-flight are still
+    settled (and therefore store-committed) before the interrupt unwinds.
+    """
+    payloads = [specs[i].to_dict() for i in indices]
+    pool = SupervisedPool(
+        _supervised_payload,
+        max_workers=min(int(max_workers), len(payloads)),
+        context=context,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+    )
+    with pool:
+        try:
+            for event in pool.run(payloads):
+                grid_index = indices[event.index]
+                if isinstance(event, CellSuccess):
+                    settle(grid_index, RunResult.from_dict(event.value))
+                    continue
+                failure = FailedResult(
+                    spec=specs[grid_index], kind=event.kind, message=event.message,
+                    attempts=event.attempts, elapsed=event.elapsed,
+                )
+                if on_error == "raise":
+                    if isinstance(event, CellFailure) and event.exception is not None:
+                        raise event.exception
+                    raise GridExecutionError(failure)
+                settle(grid_index, failure)
+        except KeyboardInterrupt:
+            # Flush cells that finished but were not yet delivered, so an
+            # interrupted sweep with a store resumes from everything done.
+            for leftover in pool.drain():
+                settle(indices[leftover.index], RunResult.from_dict(leftover.value))
+            raise
+    return True
 
 
 def run_many(
@@ -548,6 +840,10 @@ def run_many(
     max_workers: Optional[int] = None,
     store=None,
     cache: str = "reuse",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
 ) -> RunSet:
     """Execute ``spec`` once per seed and collect a columnar :class:`RunSet`.
 
@@ -557,9 +853,14 @@ def run_many(
     the order given, duplicates included.
 
     ``store``/``cache`` behave as in :func:`run_grid`: each seed is cached
-    as its own content-addressed entry, so an ensemble interrupted halfway
-    resumes from the stored seeds and re-running a finished ensemble
-    executes nothing.
+    as its own content-addressed entry (committed the moment it finishes),
+    so an ensemble interrupted halfway resumes from the stored seeds and
+    re-running a finished ensemble executes nothing.
+
+    ``timeout``/``retries``/``on_error``/``backoff`` are the per-cell
+    failure policy of :func:`run_grid`; under ``on_error="skip"|"retry"``
+    quarantined seeds land in :attr:`RunSet.failures` instead of aborting
+    the ensemble, and :meth:`RunSet.all_checks_pass` reports ``False``.
     """
     seeds = [int(seed) for seed in seeds]
     if not seeds:
@@ -567,6 +868,9 @@ def run_many(
     grid = [spec.with_seed(seed) for seed in seeds]
     results, used_pool = _run_grid(
         grid, parallel=parallel, max_workers=max_workers, keep_raw=False,
-        store=store, cache=cache,
+        store=store, cache=cache, timeout=timeout, retries=retries,
+        on_error=on_error, backoff=backoff,
     )
-    return RunSet(spec=spec, results=results, parallel=used_pool)
+    successes = [result for result in results if not result.failed]
+    failures = [result for result in results if result.failed]
+    return RunSet(spec=spec, results=successes, parallel=used_pool, failures=failures)

@@ -1,0 +1,524 @@
+"""A supervised process pool: per-cell timeouts, retries, worker recycling.
+
+``concurrent.futures.ProcessPoolExecutor`` is all-or-nothing: one worker
+dying marks the whole pool broken and every in-flight future is lost, and
+a hung task can never be cancelled.  This module is the replacement the
+executor's grid fan-out runs on: a small, single-threaded supervisor that
+owns one OS process per worker (each with a private duplex pipe) and
+settles every cell *individually*:
+
+* a worker that **raises** reports the exception over its pipe and stays
+  alive for reuse;
+* a worker that **hangs** past the per-cell ``timeout`` is terminated
+  (SIGTERM, then SIGKILL) and a replacement is spawned;
+* a worker that **dies** (hard exit, OOM kill, segfault) is detected via
+  its process sentinel and replaced, and only *its* cell is affected;
+* a failed cell is **retried** up to ``retries`` times with exponential
+  backoff and deterministic jitter before it is reported as failed.
+
+The supervisor yields :class:`CellSuccess` / :class:`CellFailure` events
+in *completion order* (the caller re-orders by index), which is what lets
+the executor commit finished cells to the store while the rest of the
+grid is still running.  The event loop is ``multiprocessing.connection
+.wait`` over worker pipes and process sentinels -- no helper threads, no
+signals in the parent, so ``KeyboardInterrupt`` surfaces cleanly at the
+``wait`` call and :meth:`SupervisedPool.drain` can still harvest results
+that finished before the interrupt.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = [
+    "CellFailure",
+    "CellSuccess",
+    "PoolUnavailable",
+    "SupervisedPool",
+    "backoff_delay",
+]
+
+
+class PoolUnavailable(RuntimeError):
+    """Worker processes cannot be (re)started; the pool cannot continue.
+
+    Raised when spawning fails (sandboxes, resource exhaustion) and no
+    live worker remains.  Cells already settled were delivered through the
+    event stream, so the caller can fall back to serial execution for the
+    remainder without losing completed work.
+    """
+
+
+@dataclass(frozen=True)
+class CellSuccess:
+    """A cell settled successfully: its payload value and attempt count."""
+
+    index: int
+    value: Any
+    attempts: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell exhausted its attempts: the terminal cause, structured.
+
+    ``kind`` is one of ``"exception"`` (the worker raised; ``exception``
+    holds the re-raised instance when it pickled cleanly), ``"timeout"``
+    (the supervisor cancelled a hung attempt) or ``"worker-death"`` (the
+    worker process vanished mid-cell).  ``message`` always carries the
+    human-readable cause -- for exceptions, the worker-side traceback.
+    """
+
+    index: int
+    kind: str
+    message: str
+    attempts: int
+    elapsed: float
+    exception: Optional[BaseException] = None
+
+
+def backoff_delay(base: float, attempt: int, index: int, cap: float = 5.0) -> float:
+    """The backoff before retry number ``attempt`` of cell ``index``.
+
+    Exponential in the attempt number, capped, with deterministic jitter
+    (seeded by the cell index and attempt, so reruns sleep identically):
+    ``min(cap, base * 2**(attempt-1)) * uniform(0.5, 1.5)``.
+    """
+    if base <= 0:
+        return 0.0
+    rng = random.Random(f"repro-backoff:{index}:{attempt}")
+    return min(float(cap), float(base) * (2.0 ** (attempt - 1))) * (0.5 + rng.random())
+
+
+@dataclass
+class _Attempt:
+    """One scheduled execution of one cell."""
+
+    index: int
+    payload: Any
+    number: int  # 1-based attempt counter
+    elapsed_before: float = 0.0  # wall-clock spent on earlier attempts
+    started: float = 0.0  # monotonic start of the running attempt
+
+
+@dataclass
+class _Worker:
+    """One supervised worker process plus its private pipe."""
+
+    process: Any
+    conn: Any
+    current: Optional[_Attempt] = None
+    deadline: Optional[float] = None
+    sent_cells: int = field(default=0)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a cell attempt is currently dispatched to this worker."""
+        return self.current is not None
+
+
+def _worker_main(conn, runner) -> None:
+    """Worker process body: execute tasks from the pipe until told to stop.
+
+    Exceptions raised by ``runner`` are caught and reported as events (the
+    worker survives and is reused); only a hard exit or an external kill
+    ends the process, which the supervisor observes via the sentinel.
+    """
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            index, payload, attempt = message
+            try:
+                value = runner(payload, attempt)
+            except BaseException as exc:  # noqa: BLE001 -- the pipe is the report
+                text = traceback.format_exc()
+                try:
+                    conn.send((index, "error", exc, text))
+                except Exception:
+                    # Unpicklable exception: the traceback text still travels.
+                    conn.send((index, "error", None, text))
+            else:
+                conn.send((index, "ok", value, None))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+class SupervisedPool:
+    """A fixed-size pool of supervised workers executing cells one at a time.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(payload, attempt) -> value``, executed in the worker.
+        Must be picklable under spawn start methods (a module-level
+        function); under fork any inherited callable works.
+    max_workers:
+        Upper bound on concurrently live worker processes.
+    context:
+        A ``multiprocessing`` context (the executor passes its fork-
+        preferring choice); ``None`` uses the default context.
+    timeout:
+        Per-*attempt* wall-clock budget in seconds; ``None`` disables
+        cancellation.  A timed-out attempt kills its worker.
+    retries:
+        How many times a failed cell is re-scheduled before a
+        :class:`CellFailure` is emitted (total attempts = ``retries + 1``).
+    backoff / backoff_cap:
+        Base and cap of the exponential retry backoff
+        (:func:`backoff_delay`); jitter is deterministic per (cell,
+        attempt).
+
+    Use as a context manager; :meth:`run` yields settlement events in
+    completion order.  The pool is single-use: one :meth:`run` per
+    instance.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Any, int], Any],
+        max_workers: int,
+        context=None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.25,
+        backoff_cap: float = 5.0,
+        recycle_after: Optional[int] = None,
+    ) -> None:
+        if context is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context()
+        self._runner = runner
+        self._context = context
+        self._max_workers = max(1, int(max_workers))
+        self._timeout = None if timeout is None else float(timeout)
+        if self._timeout is not None and self._timeout <= 0:
+            raise ValueError(f"timeout must be positive (got {timeout!r})")
+        self._retries = max(0, int(retries))
+        self._backoff = max(0.0, float(backoff))
+        self._backoff_cap = max(self._backoff, float(backoff_cap))
+        self._recycle_after = recycle_after
+        self._workers: List[_Worker] = []
+        self._spawn_blocked = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "SupervisedPool":
+        """Enter the context; workers are spawned lazily by :meth:`run`."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Terminate and reap every worker, unconditionally."""
+        self.close()
+
+    def close(self) -> None:
+        """Terminate all workers (idempotent)."""
+        self._closed = True
+        for worker in self._workers:
+            self._stop_worker(worker)
+        self._workers = []
+
+    def _stop_worker(self, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+            process.join(0.5)
+            if process.is_alive():
+                process.kill()
+                process.join(0.5)
+        else:
+            process.join(0.0)
+
+    def _spawn_worker(self) -> Optional[_Worker]:
+        """Start one worker; ``None`` when process creation is forbidden."""
+        if self._spawn_blocked:
+            return None
+        try:
+            ours, theirs = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_worker_main, args=(theirs, self._runner), daemon=True
+            )
+            process.start()
+        except (OSError, PermissionError):
+            # Sandboxes and locked-down runners forbid process creation in
+            # several shapes; remember so we do not retry on every loop tick.
+            self._spawn_blocked = True
+            return None
+        theirs.close()
+        worker = _Worker(process=process, conn=ours)
+        self._workers.append(worker)
+        return worker
+
+    # ------------------------------------------------------------------ #
+    # The event loop.
+    # ------------------------------------------------------------------ #
+
+    def run(self, payloads: Sequence[Any]) -> Iterator[Union[CellSuccess, CellFailure]]:
+        """Execute every payload; yield settlement events as cells finish.
+
+        Cells are indexed by their position in ``payloads``.  Raises
+        :class:`PoolUnavailable` when no worker can be (re)started while
+        unsettled cells remain -- events already yielded stay valid, so
+        the caller can finish the remainder elsewhere.
+        """
+        if self._closed:
+            raise RuntimeError("SupervisedPool is closed")
+        pending: deque = deque(
+            _Attempt(index=i, payload=payload, number=1) for i, payload in enumerate(payloads)
+        )
+        delayed: List[_Attempt] = []  # sorted by ready-at time, stored on .started
+        outstanding = len(pending)
+        while outstanding > 0:
+            now = time.monotonic()
+            while delayed and delayed[0].started <= now:
+                pending.append(delayed.pop(0))
+            self._assign(pending)
+            if not any(w.busy for w in self._workers):
+                if pending:
+                    # Work ready but nothing live took it: the pool is gone.
+                    raise PoolUnavailable(
+                        "no worker process could be started "
+                        f"({len(pending) + len(delayed)} cells unscheduled)"
+                    )
+                if delayed:
+                    time.sleep(max(0.0, delayed[0].started - now))
+                    continue
+                raise PoolUnavailable("supervisor lost track of outstanding cells (bug)")
+            # Retried attempts are re-queued into `delayed` by _wait_once and
+            # stay outstanding; only terminal events are yielded and counted.
+            for event in self._wait_once(delayed):
+                outstanding -= 1
+                yield event
+
+    def _assign(self, pending: deque) -> None:
+        """Hand queued attempts to idle workers, spawning up to the cap."""
+        for worker in list(self._workers):
+            # Reap idle workers that died between cells (external kills) so
+            # no attempt is ever dispatched into a dead pipe.
+            if not worker.busy and not worker.process.is_alive():
+                self._retire(worker)
+        for worker in self._workers:
+            if not pending:
+                return
+            if not worker.busy:
+                self._dispatch(worker, pending)
+        while pending and len(self._workers) < self._max_workers:
+            worker = self._spawn_worker()
+            if worker is None:
+                break
+            self._dispatch(worker, pending)
+
+    def _dispatch(self, worker: _Worker, pending: deque) -> None:
+        attempt = pending.popleft()
+        attempt.started = time.monotonic()
+        try:
+            worker.conn.send((attempt.index, attempt.payload, attempt.number))
+        except (OSError, ValueError):
+            # The worker's pipe is gone (it died between settles): retire it
+            # and requeue the attempt; _assign will spawn a replacement.
+            pending.appendleft(attempt)
+            worker.current = None
+            self._retire(worker)
+            return
+        worker.current = attempt
+        worker.sent_cells += 1
+        worker.deadline = (
+            attempt.started + self._timeout if self._timeout is not None else None
+        )
+
+    def _wait_once(self, delayed: List[_Attempt]) -> List[Union[CellSuccess, CellFailure]]:
+        """One supervisor step: wait for results, deaths or deadlines."""
+        now = time.monotonic()
+        waits: List[float] = []
+        busy = [w for w in self._workers if w.busy]
+        for worker in busy:
+            if worker.deadline is not None:
+                waits.append(worker.deadline - now)
+        if delayed:
+            waits.append(delayed[0].started - now)
+        wait_for = max(0.0, min(waits)) if waits else None
+        sentinels: Dict[Any, _Worker] = {w.process.sentinel: w for w in busy}
+        conns: Dict[Any, _Worker] = {w.conn: w for w in busy}
+        ready = connection.wait(list(conns) + list(sentinels), timeout=wait_for)
+        events: List[Union[CellSuccess, CellFailure]] = []
+        handled: set = set()
+        # Results first: a worker that finished then exited still counts.
+        for obj in ready:
+            worker = conns.get(obj)
+            if worker is None or id(worker) in handled:
+                continue
+            handled.add(id(worker))
+            events.extend(self._collect(worker, delayed))
+        for obj in ready:
+            worker = sentinels.get(obj)
+            if worker is None or id(worker) in handled:
+                continue
+            handled.add(id(worker))
+            # Death may race a final message already in the pipe.
+            if worker.conn.poll(0):
+                events.extend(self._collect(worker, delayed))
+            if worker.busy:
+                events.extend(self._bury(worker, "worker-death", delayed))
+            else:
+                self._retire(worker)
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.busy and worker.deadline is not None and now >= worker.deadline:
+                if id(worker) in handled:
+                    continue
+                events.extend(self._bury(worker, "timeout", delayed))
+        return events
+
+    def _collect(self, worker: _Worker, delayed: List[_Attempt]) -> List[Any]:
+        """Receive one settlement from a worker's pipe."""
+        attempt = worker.current
+        try:
+            index, status, value, text = worker.conn.recv()
+        except (EOFError, OSError):
+            if worker.busy:
+                return self._bury(worker, "worker-death", delayed)
+            self._retire(worker)
+            return []
+        worker.current = None
+        worker.deadline = None
+        if attempt is None or index != attempt.index:
+            # Should be impossible (one cell in flight per worker); treat as
+            # a protocol failure of the worker and retire it defensively.
+            self._retire(worker)
+            return []
+        if not worker.process.is_alive():
+            self._retire(worker)
+        elif self._recycle_after is not None and worker.sent_cells >= self._recycle_after:
+            self._retire(worker)
+        spent = attempt.elapsed_before + (time.monotonic() - attempt.started)
+        if status == "ok":
+            return [
+                CellSuccess(
+                    index=attempt.index, value=value, attempts=attempt.number, elapsed=spent
+                )
+            ]
+        return self._settle_failure(
+            attempt, kind="exception", message=text or repr(value), exception=value,
+            delayed=delayed, spent=spent,
+        )
+
+    def _bury(self, worker: _Worker, kind: str, delayed: List[_Attempt]) -> List[Any]:
+        """Kill/reap a worker whose current attempt failed abnormally."""
+        attempt = worker.current
+        worker.current = None
+        worker.deadline = None
+        self._retire(worker)
+        if attempt is None:
+            return []
+        spent = attempt.elapsed_before + (time.monotonic() - attempt.started)
+        if kind == "timeout":
+            message = (
+                f"cell attempt {attempt.number} exceeded the per-cell timeout of "
+                f"{self._timeout:.3g}s and was cancelled (worker recycled)"
+            )
+        else:
+            exitcode = worker.process.exitcode
+            message = (
+                f"worker process died mid-cell (exit code {exitcode}) on attempt "
+                f"{attempt.number}"
+            )
+        return self._settle_failure(
+            attempt, kind=kind, message=message, exception=None, delayed=delayed, spent=spent
+        )
+
+    def _retire(self, worker: _Worker) -> None:
+        """Remove a worker from the pool and make sure its process is gone."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        self._stop_worker(worker)
+
+    def _settle_failure(
+        self,
+        attempt: _Attempt,
+        kind: str,
+        message: str,
+        exception: Optional[BaseException],
+        delayed: List[_Attempt],
+        spent: float,
+    ) -> List[Any]:
+        """Retry the attempt if budget remains, else emit a terminal failure."""
+        if attempt.number <= self._retries:
+            delay = backoff_delay(
+                self._backoff, attempt.number, attempt.index, cap=self._backoff_cap
+            )
+            retry = _Attempt(
+                index=attempt.index,
+                payload=attempt.payload,
+                number=attempt.number + 1,
+                elapsed_before=spent,
+                started=time.monotonic() + delay,  # ready-at while delayed
+            )
+            position = 0
+            while position < len(delayed) and delayed[position].started <= retry.started:
+                position += 1
+            delayed.insert(position, retry)
+            return []
+        return [
+            CellFailure(
+                index=attempt.index,
+                kind=kind,
+                message=message,
+                attempts=attempt.number,
+                elapsed=spent,
+                exception=exception,
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Interrupt support.
+    # ------------------------------------------------------------------ #
+
+    def drain(self) -> List[CellSuccess]:
+        """Harvest results that finished but were not yet delivered.
+
+        Called after an interrupt cut :meth:`run` short (typically from a
+        ``KeyboardInterrupt`` handler): polls every busy worker's pipe
+        without blocking and returns whatever *successes* are sitting in
+        them, so completed work can still be committed before unwinding.
+        Failures found here are dropped -- an interrupted run makes no
+        terminal verdicts.
+        """
+        harvested: List[CellSuccess] = []
+        for worker in self._workers:
+            attempt = worker.current
+            if attempt is None:
+                continue
+            try:
+                if not worker.conn.poll(0):
+                    continue
+                index, status, value, _text = worker.conn.recv()
+            except (EOFError, OSError):
+                continue
+            worker.current = None
+            if status == "ok" and index == attempt.index:
+                harvested.append(
+                    CellSuccess(
+                        index=index,
+                        value=value,
+                        attempts=attempt.number,
+                        elapsed=attempt.elapsed_before
+                        + (time.monotonic() - attempt.started),
+                    )
+                )
+        return harvested

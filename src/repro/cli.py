@@ -30,6 +30,13 @@ result cache (:mod:`repro.store`): cached runs are loaded instead of
 executed (``--cache refresh`` recomputes, ``--cache off`` ignores the
 store), and ``repro-sim store list|show|gc`` inspects and maintains a
 store.  ``REPRO_STORE`` in the environment supplies the default path.
+
+Multi-seed ``repro-sim run`` accepts the executor's per-cell failure
+policy: ``--timeout SECONDS`` cancels hung cells, ``--retries N`` retries
+crashed/failed cells with backoff, and ``--on-error skip|retry``
+quarantines exhausted cells instead of aborting the ensemble.  Quarantined
+seeds are summarized on stderr and exit the process with status 3 (status
+1 remains "a correctness check failed", 2 "usage or store error").
 """
 
 from __future__ import annotations
@@ -427,6 +434,8 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     if args.prune:
         print(f"pruned unreferenced entries: {len(report['pruned_unreferenced'])}")
     print(f"staging debris removed: {report['staging_debris']}")
+    if report.get("staging_kept_live"):
+        print(f"staging kept (live writers): {report['staging_kept_live']}")
     print(f"entries remaining: {report['remaining']}")
     return 0
 
@@ -448,19 +457,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec = spec.with_seed(seeds[0])
         return _run_and_report_dynamic(spec, args.output, _store_kwargs(args))
     if seeds and len(seeds) > 1:
-        runset = api.run_many(spec, seeds=seeds, parallel=not args.serial, **_store_kwargs(args))
-        print(runset.table().render())
-        summary = runset.summary()
-        rounds = summary["rounds"].get("total", {})
-        print(
-            f"seeds: {len(runset)}  rounds min/mean/max: "
-            f"{rounds.get('min')}/{rounds.get('mean'):.1f}/{rounds.get('max')}"
+        runset = api.run_many(
+            spec, seeds=seeds, parallel=not args.serial,
+            timeout=args.timeout, retries=args.retries, on_error=args.on_error,
+            **_store_kwargs(args),
         )
+        if runset.results:
+            print(runset.table().render())
+            summary = runset.summary()
+            rounds = summary["rounds"].get("total", {})
+            print(
+                f"seeds: {len(runset)}  rounds min/mean/max: "
+                f"{rounds.get('min')}/{rounds.get('mean'):.1f}/{rounds.get('max')}"
+            )
         print(f"all checks pass: {runset.all_checks_pass()}")
+        if runset.failures:
+            print(f"quarantined seeds: {len(runset.failures)}", file=sys.stderr)
+            for failure in runset.failures:
+                print(f"  {failure.summary_line()}", file=sys.stderr)
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(runset.to_json())
             print(f"wrote {args.output}")
+        if runset.failures:
+            return 3
         return 0 if runset.all_checks_pass() else 1
     if seeds:
         spec = spec.with_seed(seeds[0])
@@ -569,6 +589,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_.add_argument("--serial", action="store_true", help="disable the process-pool fan-out")
     run_.add_argument("--output", default=None, help="write the result JSON to this path")
+    run_.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock timeout; a hung cell is cancelled and its "
+        "worker recycled (parallel ensembles only)",
+    )
+    run_.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run a failed/crashed/timed-out cell up to N times with backoff",
+    )
+    run_.add_argument(
+        "--on-error",
+        choices=api.ON_ERROR_POLICIES,
+        default="raise",
+        help="after retries are exhausted: abort the ensemble (raise, default) "
+        "or quarantine the cell and keep going (skip = no retries, retry)",
+    )
     _add_store_arguments(run_)
     run_.set_defaults(handler=_cmd_run)
 

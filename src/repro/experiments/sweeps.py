@@ -32,6 +32,15 @@ finished sweep replays from disk without touching a simulator.  Each sweep
 also records a named collection manifest (``sweep-<name>``) listing its
 cell keys, which keeps the artifacts discoverable (``repro-sim store
 list``) and protects them from ``store.gc(prune_unreferenced=True)``.
+
+Sweeps inherit the executor's per-cell failure policy
+(``timeout=``/``retries=``/``on_error=``/``backoff=``, see
+:func:`repro.api.run_grid`): under ``on_error="skip"|"retry"`` a crashing,
+hanging or persistently failing cell is quarantined as a
+:class:`~repro.api.FailedResult` on :attr:`SweepResult.failures` while
+every other cell's data point is still produced -- and because failed
+cells are never cached, re-running the sweep against the same store
+executes only the quarantined cells.
 """
 
 from __future__ import annotations
@@ -71,11 +80,19 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """A full sweep: the data points plus a ready-to-print table."""
+    """A full sweep: the data points plus a ready-to-print table.
+
+    ``failures`` lists the quarantined cells (as
+    :class:`~repro.api.FailedResult`) when the sweep ran with
+    ``on_error="skip"|"retry"``; their data never reaches ``points`` or
+    ``table``, and :meth:`all_checks_pass` reports ``False`` while any
+    are present.
+    """
 
     name: str
     points: List[SweepPoint]
     table: ExperimentTable
+    failures: List = field(default_factory=list)
 
     def series(self, algorithm: str) -> List[Tuple[float, int]]:
         """(parameter value, rounds) pairs for one algorithm label.
@@ -103,7 +120,9 @@ class SweepResult:
         return labels
 
     def all_checks_pass(self) -> bool:
-        """Whether every check at every point passed."""
+        """Whether every check at every point passed and no cell failed."""
+        if self.failures:
+            return False
         return all(point.all_checks_pass() for point in self.points)
 
 
@@ -130,17 +149,24 @@ def _execute(
     store=None,
     cache: str = "reuse",
     sweep: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
 ) -> List[RunResult]:
     """Run all cells through :func:`repro.api.run_grid`, recording the sweep.
 
     With a store, already-cached cells are skipped (the resume path) and
     the full cell-key list is written as the ``sweep-<name>`` collection
     manifest after execution, so the artifacts of a finished sweep are
-    discoverable and GC-protected as one unit.
+    discoverable and GC-protected as one unit.  The returned list is
+    cell-aligned; under a quarantining ``on_error`` policy failed slots
+    hold :class:`~repro.api.FailedResult` markers.
     """
     results = run_grid(
         [cell.spec for cell in cells], parallel=parallel, max_workers=max_workers,
-        store=store, cache=cache,
+        store=store, cache=cache, timeout=timeout, retries=retries,
+        on_error=on_error, backoff=backoff,
     )
     if store is not None and cache != "off" and sweep:
         from ..store import resolve_store, spec_key
@@ -156,11 +182,23 @@ def _execute(
 def _grouped(
     cells: Sequence[_Cell], results: Sequence[RunResult]
 ) -> List[List[Tuple[_Cell, RunResult]]]:
-    """(cell, result) pairs grouped by swept value, in insertion order."""
+    """(cell, result) pairs grouped by swept value, in insertion order.
+
+    Quarantined cells (``result.failed``) are dropped here, so downstream
+    point shaping only ever sees real results; a swept value whose cells
+    *all* failed contributes no group at all.
+    """
     groups: Dict[float, List[Tuple[_Cell, RunResult]]] = {}
     for pair in zip(cells, results):
+        if pair[1].failed:
+            continue
         groups.setdefault(pair[0].value, []).append(pair)
     return list(groups.values())
+
+
+def _failures(results: Sequence[RunResult]) -> List:
+    """The quarantined :class:`~repro.api.FailedResult` slots of a grid."""
+    return [result for result in results if result.failed]
 
 
 def _point(parameter: str, value: float, pairs: Sequence[Tuple[_Cell, RunResult]]) -> SweepPoint:
@@ -186,6 +224,10 @@ def local_broadcast_sweep(
     max_workers: Optional[int] = None,
     store=None,
     cache: str = "reuse",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
 ) -> SweepResult:
     """Rounds of local broadcast versus density (Table 1 / Theorem 2 shape)."""
     config = config or AlgorithmConfig.fast()
@@ -224,7 +266,10 @@ def local_broadcast_sweep(
             )
             cells.append(cell("local-broadcast-tdma", "TDMA", None, None))
 
-    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="local-broadcast")
+    results = _execute(
+        cells, parallel, max_workers, store=store, cache=cache, sweep="local-broadcast",
+        timeout=timeout, retries=retries, on_error=on_error, backoff=backoff,
+    )
 
     table = ExperimentTable(
         title="local broadcast sweep", columns=["Delta", "rounds", "reference shape"]
@@ -243,7 +288,9 @@ def local_broadcast_sweep(
                 **{"reference shape": reference},
             )
         points.append(_point("Delta", float(delta), pairs))
-    return SweepResult(name="local-broadcast", points=points, table=table)
+    return SweepResult(
+        name="local-broadcast", points=points, table=table, failures=_failures(results)
+    )
 
 
 def global_broadcast_sweep(
@@ -256,6 +303,10 @@ def global_broadcast_sweep(
     max_workers: Optional[int] = None,
     store=None,
     cache: str = "reuse",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
 ) -> SweepResult:
     """Rounds of global broadcast versus diameter (Table 2 / Theorem 3 shape)."""
     config = config or AlgorithmConfig.fast()
@@ -292,7 +343,10 @@ def global_broadcast_sweep(
             )
             cells.append(cell("global-broadcast-tdma", "TDMA flood", None, None))
 
-    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="global-broadcast")
+    results = _execute(
+        cells, parallel, max_workers, store=store, cache=cache, sweep="global-broadcast",
+        timeout=timeout, retries=retries, on_error=on_error, backoff=backoff,
+    )
 
     table = ExperimentTable(
         title="global broadcast sweep", columns=["D", "Delta", "rounds", "reference shape"]
@@ -312,7 +366,9 @@ def global_broadcast_sweep(
                 **{"reference shape": reference},
             )
         points.append(_point("D", float(diameter), pairs))
-    return SweepResult(name="global-broadcast", points=points, table=table)
+    return SweepResult(
+        name="global-broadcast", points=points, table=table, failures=_failures(results)
+    )
 
 
 def clustering_sweep(
@@ -323,6 +379,10 @@ def clustering_sweep(
     max_workers: Optional[int] = None,
     store=None,
     cache: str = "reuse",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
 ) -> SweepResult:
     """Clustering rounds and validity versus density (Theorem 1 shape)."""
     config = config or AlgorithmConfig.fast()
@@ -348,13 +408,18 @@ def clustering_sweep(
             )
         )
 
-    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="clustering")
+    results = _execute(
+        cells, parallel, max_workers, store=store, cache=cache, sweep="clustering",
+        timeout=timeout, retries=retries, on_error=on_error, backoff=backoff,
+    )
 
     table = ExperimentTable(
         title="clustering sweep", columns=["Gamma", "rounds", "clusters", "valid", "reference shape"]
     )
     points: List[SweepPoint] = []
     for cell_, result in zip(cells, results):
+        if result.failed:
+            continue
         gamma = int(result.metrics["delta_bound"])
         valid = result.checks["valid_clustering"]
         reference = clustering_bound(gamma, int(result.metrics["id_space"]))
@@ -375,7 +440,7 @@ def clustering_sweep(
                 extra={"clusters": result.metrics["clusters"]},
             )
         )
-    return SweepResult(name="clustering", points=points, table=table)
+    return SweepResult(name="clustering", points=points, table=table, failures=_failures(results))
 
 
 def gadget_delay_sweep(
@@ -385,6 +450,10 @@ def gadget_delay_sweep(
     max_workers: Optional[int] = None,
     store=None,
     cache: str = "reuse",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    backoff: float = 0.25,
 ) -> SweepResult:
     """Adversarially forced delivery delay versus ``Delta`` (Figures 5-6 shape)."""
     label = "round-robin under adversarial IDs" if adversarial else "round-robin, benign IDs"
@@ -407,13 +476,18 @@ def gadget_delay_sweep(
             )
         )
 
-    results = _execute(cells, parallel, max_workers, store=store, cache=cache, sweep="gadget-delay")
+    results = _execute(
+        cells, parallel, max_workers, store=store, cache=cache, sweep="gadget-delay",
+        timeout=timeout, retries=retries, on_error=on_error, backoff=backoff,
+    )
 
     table = ExperimentTable(
         title="gadget delay sweep", columns=["Delta", "delay", "Omega(Delta) satisfied"]
     )
     points: List[SweepPoint] = []
     for cell_, result in zip(cells, results):
+        if result.failed:
+            continue
         delay = result.rounds["total"]
         satisfied = result.checks["omega_delta"]
         table.add_row(
@@ -430,4 +504,4 @@ def gadget_delay_sweep(
                 checks={"omega_delta": satisfied},
             )
         )
-    return SweepResult(name="gadget-delay", points=points, table=table)
+    return SweepResult(name="gadget-delay", points=points, table=table, failures=_failures(results))

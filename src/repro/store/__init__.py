@@ -11,7 +11,10 @@ package persists executed results under those names:
 * :mod:`repro.store.store` -- :class:`ExperimentStore`, the on-disk store:
   integrity-checked entry manifests, columnar JSON/NPZ payloads, named
   collections for sweeps, and garbage collection that never deletes
-  referenced artifacts.
+  referenced artifacts (nor a live writer's in-flight staging);
+* :mod:`repro.store.locking` -- :class:`FileLock`, the cross-process
+  advisory lock serializing store mutations, so concurrent processes can
+  share one store root safely.
 
 The executor entry points (:func:`repro.api.run`,
 :func:`~repro.api.run_many`, :func:`~repro.api.run_grid`,
@@ -34,14 +37,18 @@ From the shell: ``repro-sim run --spec run.json --store results-store`` and
 """
 
 from .hashing import STORE_FORMAT_VERSION, canonical_json, spec_key, spec_kind
+from .locking import FileLock, LockTimeout, pid_alive
 from .store import ExperimentStore, StoreError, StoreIntegrityError, resolve_store
 
 __all__ = [
     "STORE_FORMAT_VERSION",
     "ExperimentStore",
+    "FileLock",
+    "LockTimeout",
     "StoreError",
     "StoreIntegrityError",
     "canonical_json",
+    "pid_alive",
     "resolve_store",
     "spec_key",
     "spec_kind",

@@ -1,0 +1,259 @@
+"""Cross-process advisory locking for on-disk store mutations.
+
+:class:`FileLock` serializes the mutating sections of
+:class:`~repro.store.ExperimentStore` (entry commits, collection-manifest
+updates, :meth:`~repro.store.ExperimentStore.gc`, entry removal) across
+*processes* sharing one store root.  Two strategies, picked automatically:
+
+* ``fcntl.flock`` on a lockfile (POSIX): the kernel drops the lock when
+  the holder dies, so a crashed holder can never wedge the store;
+* exclusive-create (``O_EXCL``) of a pidfile, for platforms or
+  filesystems without usable ``flock``: the holder's PID is written into
+  the file, and a waiter *takes over* a lock whose owner is dead -- or
+  whose file has gone stale past ``stale_after`` seconds -- instead of
+  blocking forever behind a corpse.
+
+Locks are advisory (they only exclude other :class:`FileLock` users on
+the same path) and reentrant within a process.  Reentrancy is guarded by
+PID, so a forked child never mistakes the parent's held lock for its own.
+
+Typical use::
+
+    lock = FileLock(store_root / ".lock")
+    with lock:                       # blocks up to `timeout`, then raises
+        ...mutate shared state...    # LockTimeout
+
+Waiting is a poll loop (``poll_interval`` seconds between attempts): the
+store's critical sections are directory renames measured in milliseconds,
+so contention is short and polling is simpler and more portable than
+blocking-lock plumbing across both strategies.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # pragma: no cover - import probe
+    import fcntl
+
+    _HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _HAVE_FCNTL = False
+
+__all__ = ["FileLock", "LockTimeout", "pid_alive"]
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a :class:`FileLock` cannot be acquired within its timeout."""
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether a process with this PID currently exists (signal-0 probe).
+
+    ``True`` is also returned for processes we lack permission to signal
+    (they exist, which is all liveness means here); ``False`` for
+    nonpositive PIDs.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class FileLock:
+    """A reentrant cross-process advisory lock backed by one lockfile.
+
+    Parameters
+    ----------
+    path:
+        The lockfile.  Everyone who wants mutual exclusion must lock the
+        *same path*; the file itself carries no data beyond the holder's
+        PID (written for debuggability and, in ``"exclusive"`` mode, for
+        stale-lock takeover).
+    timeout:
+        Default seconds :meth:`acquire` waits before raising
+        :class:`LockTimeout` (overridable per call).
+    poll_interval:
+        Seconds between acquisition attempts while waiting.
+    stale_after:
+        ``"exclusive"`` mode only: a lockfile older than this whose owner
+        cannot be confirmed alive is treated as abandoned and taken over.
+        Must comfortably exceed the longest critical section (the store's
+        are milliseconds; the default leaves a wide margin).
+    strategy:
+        ``None`` (auto: ``fcntl`` when available), ``"fcntl"``, or
+        ``"exclusive"``.  Tests force ``"exclusive"`` to exercise the
+        takeover path on any platform.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        timeout: float = 30.0,
+        poll_interval: float = 0.05,
+        stale_after: float = 300.0,
+        strategy: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.poll_interval = float(poll_interval)
+        self.stale_after = float(stale_after)
+        if strategy is None:
+            strategy = "fcntl" if _HAVE_FCNTL else "exclusive"
+        if strategy not in ("fcntl", "exclusive"):
+            raise ValueError(f"unknown lock strategy {strategy!r}")
+        if strategy == "fcntl" and not _HAVE_FCNTL:
+            raise ValueError("fcntl locking requested but the fcntl module is unavailable")
+        self.strategy = strategy
+        self._fd: Optional[int] = None
+        self._depth = 0
+        self._owner_pid: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Public protocol.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def held(self) -> bool:
+        """Whether *this process* currently holds the lock."""
+        return self._depth > 0 and self._owner_pid == os.getpid()
+
+    def acquire(self, timeout: Optional[float] = None) -> "FileLock":
+        """Take the lock, waiting up to ``timeout`` (default: constructor's).
+
+        Reentrant: a process that already holds the lock nests without
+        touching the filesystem.  A forked child inheriting the parent's
+        in-memory state acquires afresh (the PID guard sees a foreign
+        owner).  Raises :class:`LockTimeout` when the wait expires.
+        """
+        if self._depth > 0:
+            if self._owner_pid == os.getpid():
+                self._depth += 1
+                return self
+            # Forked child: the parent's held state is not ours.
+            self._depth = 0
+            self._fd = None
+            self._owner_pid = None
+        budget = self.timeout if timeout is None else float(timeout)
+        deadline = time.monotonic() + budget
+        while True:
+            if self._try_acquire():
+                self._depth = 1
+                self._owner_pid = os.getpid()
+                return self
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within {budget:g}s "
+                    f"(strategy={self.strategy}; another process holds it)"
+                )
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        """Undo one :meth:`acquire`; the outermost release frees the file."""
+        if self._depth == 0 or self._owner_pid != os.getpid():
+            raise RuntimeError(f"release of {self.path}, which this process does not hold")
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        self._owner_pid = None
+        if self.strategy == "fcntl":
+            fd, self._fd = self._fd, None
+            if fd is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                finally:
+                    os.close(fd)
+        else:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        """Acquire on ``with`` entry."""
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        """Release on ``with`` exit."""
+        self.release()
+
+    def __repr__(self) -> str:
+        state = f"held depth={self._depth}" if self.held else "free"
+        return f"FileLock({str(self.path)!r}, {self.strategy}, {state})"
+
+    # ------------------------------------------------------------------ #
+    # Strategies.
+    # ------------------------------------------------------------------ #
+
+    def _try_acquire(self) -> bool:
+        if self.strategy == "fcntl":
+            return self._try_flock()
+        return self._try_exclusive()
+
+    def _try_flock(self) -> bool:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        try:
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        except OSError:
+            pass  # the PID note is advisory; the flock itself is what locks
+        self._fd = fd
+        return True
+
+    def _try_exclusive(self) -> bool:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            self._steal_if_stale()
+            return False
+        except OSError:
+            return False
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _steal_if_stale(self) -> None:
+        """Remove an existing exclusive-mode lockfile if its owner is gone.
+
+        A lockfile is stale when its recorded owner PID is dead, or when
+        the PID is unreadable and the file is older than ``stale_after``.
+        An unlink race with another waiter (or the owner's release) is
+        harmless: whoever creates next wins the following attempt.
+        """
+        try:
+            age = time.time() - self.path.stat().st_mtime
+            text = self.path.read_text(encoding="ascii", errors="replace").strip()
+        except OSError:
+            return  # released (or stolen) between our attempt and now
+        try:
+            owner = int(text)
+        except ValueError:
+            owner = -1
+        if owner > 0:
+            if pid_alive(owner) and age < self.stale_after:
+                return
+        elif age < self.stale_after:
+            return  # mid-write or unreadable but fresh: give the owner time
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

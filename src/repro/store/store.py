@@ -41,8 +41,13 @@ from .. import __version__
 from ..api.executor import RunResult
 from ..api.specs import RunSpec
 from .hashing import STORE_FORMAT_VERSION, spec_key, spec_kind
+from .locking import FileLock, pid_alive
 
 __all__ = ["ExperimentStore", "StoreError", "StoreIntegrityError", "resolve_store"]
+
+#: How long (seconds) a staging dir with an *unparsable* or dead PID may
+#: linger before :meth:`ExperimentStore.gc` treats it as abandoned debris.
+STAGE_GRACE_SECONDS = 3600.0
 
 #: Valid ``cache=`` modes accepted by the executor entry points.
 CACHE_MODES = ("reuse", "refresh", "off")
@@ -109,6 +114,11 @@ class ExperimentStore:
         (self.root / "tmp").mkdir(exist_ok=True)
         if not marker.exists():
             _json_dump({"format": STORE_FORMAT_VERSION, "package": __version__}, marker)
+        # Cross-process advisory lock serializing store mutations (entry
+        # commits, manifest updates, gc, removal).  Staging itself is
+        # lock-free: stage names embed the writer's PID, so writers never
+        # collide there and only the publish/collect steps contend.
+        self._lock = FileLock(self.root / ".lock")
 
     # ------------------------------------------------------------------ #
     # Keys and paths.
@@ -230,17 +240,18 @@ class ExperimentStore:
 
     def _install(self, key: str, kind: str, spec: RunSpec, files: Dict[str, bytes],
                  extra: Optional[Dict[str, Any]] = None, overwrite: bool = False) -> str:
-        """Atomically write one entry: stage under ``tmp``, rename into place."""
+        """Atomically write one entry: stage under ``tmp``, rename into place.
+
+        Staging happens lock-free (the stage name embeds this process's
+        PID, so concurrent writers never collide); only the publish step --
+        checking/clearing the destination and renaming the stage into it --
+        runs under the store's cross-process lock, so two processes
+        committing the same key cannot half-delete each other's entry and
+        :meth:`gc` never observes a torn rename.
+        """
         entry_dir = self._entry_dir(key)
-        if (entry_dir / "manifest.json").exists():
-            if not overwrite:
-                return key
-            shutil.rmtree(entry_dir)
-        elif entry_dir.exists():
-            # Incomplete debris (interrupted write or removal): a fresh
-            # result is in hand, so replace the husk instead of keeping the
-            # entry permanently un-persistable.
-            shutil.rmtree(entry_dir)
+        if (entry_dir / "manifest.json").exists() and not overwrite:
+            return key
         stage = self.root / "tmp" / f"{key}.{os.getpid()}"
         if stage.exists():
             shutil.rmtree(stage)
@@ -263,14 +274,31 @@ class ExperimentStore:
             }
             manifest.update(extra or {})
             _json_dump(manifest, stage / "manifest.json")
+            if os.environ.get("REPRO_FAULT_PLAN"):
+                # Fault-injection hook (no-op unless a chaos plan targets
+                # this spec): damages the staged payload *after* checksums
+                # were recorded, so verification must catch it later.
+                from ..testing.faults import corrupt_staged_entry
+
+                corrupt_staged_entry(stage, spec)
             entry_dir.parent.mkdir(parents=True, exist_ok=True)
-            try:
-                os.replace(stage, entry_dir)
-            except OSError:
-                # A concurrent writer won the rename race; its entry is
-                # equivalent (same key => same payload), keep it.
-                if not (entry_dir / "manifest.json").exists():
-                    raise
+            with self._lock:
+                if (entry_dir / "manifest.json").exists():
+                    if not overwrite:
+                        return key
+                    shutil.rmtree(entry_dir)
+                elif entry_dir.exists():
+                    # Incomplete debris (interrupted write or removal): a
+                    # fresh result is in hand, so replace the husk instead
+                    # of keeping the entry permanently un-persistable.
+                    shutil.rmtree(entry_dir)
+                try:
+                    os.replace(stage, entry_dir)
+                except OSError:
+                    # A concurrent writer won the rename race; its entry is
+                    # equivalent (same key => same payload), keep it.
+                    if not (entry_dir / "manifest.json").exists():
+                        raise
         finally:
             if stage.exists():
                 shutil.rmtree(stage, ignore_errors=True)
@@ -405,10 +433,16 @@ class ExperimentStore:
             ) from exc
 
     def remove(self, spec_or_key: Union[RunSpec, str]) -> None:
-        """Delete one entry (no error if absent)."""
+        """Delete one entry (no error if absent).
+
+        Runs under the store lock so a removal never interleaves with a
+        concurrent commit of the same key (which could otherwise tear the
+        freshly-renamed entry in half).
+        """
         entry_dir = self._entry_dir(self.key_for(spec_or_key))
-        if entry_dir.exists():
-            shutil.rmtree(entry_dir)
+        with self._lock:
+            if entry_dir.exists():
+                shutil.rmtree(entry_dir)
 
     # ------------------------------------------------------------------ #
     # Named collections (sweep manifests).
@@ -436,7 +470,8 @@ class ExperimentStore:
         path = self.root / "manifests" / f"{safe}.json"
         stage = self.root / "tmp" / f"manifest-{safe}.{os.getpid()}.json"
         _json_dump(data, stage)
-        os.replace(stage, path)
+        with self._lock:
+            os.replace(stage, path)
         return path
 
     def read_manifest(self, name: str) -> Dict[str, Any]:
@@ -469,44 +504,59 @@ class ExperimentStore:
     def gc(self, prune_unreferenced: bool = False) -> Dict[str, Any]:
         """Collect garbage; returns a report of what was (not) removed.
 
-        Always removes staging debris and entries that fail verification
-        (corrupt or incomplete) -- *except* corrupt entries referenced by a
-        live collection, which are reported under ``"corrupt_kept"`` but
-        never deleted (a referenced artifact is someone's data; deleting it
-        is a human decision).  ``prune_unreferenced=True`` additionally
-        removes healthy entries no collection references.
+        Removes *abandoned* staging debris and entries that fail
+        verification (corrupt or incomplete) -- *except* corrupt entries
+        referenced by a live collection, which are reported under
+        ``"corrupt_kept"`` but never deleted (a referenced artifact is
+        someone's data; deleting it is a human decision).
+        ``prune_unreferenced=True`` additionally removes healthy entries no
+        collection references.
+
+        The whole pass runs under the store's cross-process lock, and
+        staging items are only collected when their embedded writer PID is
+        dead (or unparsable and older than :data:`STAGE_GRACE_SECONDS`):
+        a live writer's mid-stage entry is reported under
+        ``"staging_kept_live"`` and left alone, so gc racing a concurrent
+        commit can never half-delete work in flight.
         """
-        referenced = self.referenced_keys()
-        removed: List[str] = []
-        corrupt_kept: List[str] = []
-        pruned: List[str] = []
-        tmp = self.root / "tmp"
-        debris = list(tmp.iterdir()) if tmp.exists() else []
-        for item in debris:
-            if item.is_dir():
-                shutil.rmtree(item, ignore_errors=True)
-            else:
-                item.unlink()
-        for key in self.keys():
-            try:
-                self.verify(key)
-            except StoreError:
-                if key in referenced:
-                    corrupt_kept.append(key)
+        with self._lock:
+            referenced = self.referenced_keys()
+            removed: List[str] = []
+            corrupt_kept: List[str] = []
+            pruned: List[str] = []
+            swept = 0
+            kept_live = 0
+            tmp = self.root / "tmp"
+            for item in list(tmp.iterdir()) if tmp.exists() else []:
+                if _stage_in_use(item):
+                    kept_live += 1
+                    continue
+                swept += 1
+                if item.is_dir():
+                    shutil.rmtree(item, ignore_errors=True)
                 else:
+                    item.unlink()
+            for key in self.keys():
+                try:
+                    self.verify(key)
+                except StoreError:
+                    if key in referenced:
+                        corrupt_kept.append(key)
+                    else:
+                        self.remove(key)
+                        removed.append(key)
+                    continue
+                if prune_unreferenced and key not in referenced:
                     self.remove(key)
-                    removed.append(key)
-                continue
-            if prune_unreferenced and key not in referenced:
-                self.remove(key)
-                pruned.append(key)
-        return {
-            "removed_corrupt": removed,
-            "corrupt_kept": corrupt_kept,
-            "pruned_unreferenced": pruned,
-            "staging_debris": len(debris),
-            "remaining": len(self),
-        }
+                    pruned.append(key)
+            return {
+                "removed_corrupt": removed,
+                "corrupt_kept": corrupt_kept,
+                "pruned_unreferenced": pruned,
+                "staging_debris": swept,
+                "staging_kept_live": kept_live,
+                "remaining": len(self),
+            }
 
     def stats(self) -> Dict[str, Any]:
         """Aggregate store statistics (entry counts, bytes, kinds)."""
@@ -544,6 +594,42 @@ def resolve_store(store: Union["ExperimentStore", str, os.PathLike, None]) -> Op
     if store is None or isinstance(store, ExperimentStore):
         return store
     return ExperimentStore(store)
+
+
+def _stage_pid(name: str) -> Optional[int]:
+    """The writer PID embedded in a staging name, or ``None``.
+
+    Stage names are ``<key>.<pid>`` (entry dirs) and
+    ``manifest-<name>.<pid>.json`` (collection files); the PID is always
+    the last dot-separated component once a ``.json`` suffix is stripped.
+    """
+    if name.endswith(".json"):
+        name = name[: -len(".json")]
+    _, _, tail = name.rpartition(".")
+    try:
+        pid = int(tail)
+    except ValueError:
+        return None
+    return pid if pid > 0 else None
+
+
+def _stage_in_use(item: Path) -> bool:
+    """Whether a staging item may belong to a *live* writer (gc must keep it).
+
+    True when the embedded PID is alive *and* the item's mtime is younger
+    than :data:`STAGE_GRACE_SECONDS` (the mtime guard defuses PID reuse:
+    a recycled PID cannot pin hours-old debris forever).  Items without a
+    parsable PID were not written by this store's staging scheme and are
+    always sweepable.
+    """
+    pid = _stage_pid(item.name)
+    if pid is None:
+        return False
+    try:
+        age = time.time() - item.stat().st_mtime
+    except OSError:
+        return False  # vanished mid-scan: nothing left to keep or sweep
+    return pid_alive(pid) and age < STAGE_GRACE_SECONDS
 
 
 def _label(spec: RunSpec) -> str:

@@ -1,0 +1,40 @@
+"""Deterministic test harnesses for the executor and the store.
+
+This package holds tooling that *injects* controlled failures into the
+system under test -- it is imported by the production code only through
+cheap, lazily-guarded hooks, and does nothing at all unless a fault plan
+has been installed:
+
+* :mod:`repro.testing.faults` -- the seeded chaos harness: a
+  :class:`~repro.testing.faults.FaultPlan` maps placement seeds to faults
+  (``raise`` / ``hang`` / ``exit`` / ``corrupt``) that fire inside executor
+  workers (or the store's staging path, for ``corrupt``) on exactly the
+  chosen cells, so grid-robustness tests are bit-reproducible.
+
+See ``docs/guide/reliability.md`` for usage and ``tests/test_faults.py``
+for the stress suite that drives grids through every failure mode.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear,
+    fire_if_planned,
+    injected_faults,
+    install,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear",
+    "fire_if_planned",
+    "injected_faults",
+    "install",
+]

@@ -1,0 +1,289 @@
+"""Seeded fault injection: make chosen grid cells raise, hang, die or corrupt.
+
+The executor's robustness guarantees (per-cell retry, timeout, quarantine,
+worker recycling, store locking) are only trustworthy if they can be
+exercised deterministically.  This module provides that: a
+:class:`FaultPlan` maps *placement seeds* to :class:`FaultSpec` actions,
+and the executor's worker entry point calls :func:`fire_if_planned` right
+before executing a cell.  Because cells of a grid are identified by their
+spec (and multi-seed ensembles re-seed the deployment), keying faults by
+seed picks out exact cells of a :func:`repro.api.run_many` /
+:func:`repro.api.run_grid` fan-out, bit-reproducibly::
+
+    from repro.testing import faults
+
+    plan = faults.FaultPlan({
+        3: faults.FaultSpec("exit"),                 # hard worker death
+        7: faults.FaultSpec("hang", times=-1),       # hangs every attempt
+        11: faults.FaultSpec("raise", times=1),      # fails once, then heals
+    })
+    with faults.injected_faults(plan):
+        ensemble = api.run_many(spec, seeds=range(24),
+                                timeout=2.0, retries=2, on_error="retry")
+
+Fault kinds:
+
+* ``"raise"`` -- the worker raises :class:`InjectedFault` (an ordinary
+  exception: the worker survives and is reused);
+* ``"hang"`` -- the worker sleeps for ``hang_seconds`` (the supervisor's
+  per-cell ``timeout=`` must cancel it and recycle the worker);
+* ``"exit"`` -- the worker hard-exits via ``os._exit`` (no cleanup, no
+  exception: simulates an OOM kill or segfault);
+* ``"corrupt"`` -- the cell *executes normally* but the store's staging
+  hook (:func:`corrupt_staged_entry`) flips bytes in the staged
+  ``payload.json`` before the entry is committed, so the persisted
+  artifact fails checksum verification on the next load.
+
+``times`` bounds how many *attempts* of a matching cell fire the fault
+(attempt numbers are supplied by the executor's retry loop, so a fault
+with ``times=1`` heals on the first retry); ``times=-1`` fires forever.
+
+Plans propagate to worker processes automatically: :func:`install` sets a
+module global (inherited by forked workers) *and* the ``REPRO_FAULT_PLAN``
+environment variable (inherited by spawned workers), and
+:func:`active_plan` reads whichever is present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear",
+    "corrupt_staged_entry",
+    "fire_if_planned",
+    "injected_faults",
+    "install",
+]
+
+#: The recognized fault kinds (see the module docstring for semantics).
+FAULT_KINDS = ("raise", "hang", "exit", "corrupt")
+
+#: Environment variable carrying the active plan as JSON (for spawned workers).
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by a ``"raise"`` fault (and nothing else).
+
+    Tests can assert on this type to distinguish injected failures from
+    genuine bugs in the code under test.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault action: what happens, on how many attempts, how hard.
+
+    ``times`` is the number of *attempts* of a matching cell that fire the
+    fault (``-1`` = every attempt, forever); ``hang_seconds`` is the sleep
+    duration of a ``"hang"`` (made long enough that only the supervisor's
+    timeout ends it); ``exit_code`` is the hard-exit status of an
+    ``"exit"``.
+    """
+
+    kind: str
+    times: int = 1
+    hang_seconds: float = 300.0
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        """Validate the fault kind against :data:`FAULT_KINDS`."""
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {', '.join(FAULT_KINDS)}"
+            )
+
+    def fires(self, attempt: int) -> bool:
+        """Whether this fault fires on the given 1-based attempt number."""
+        return self.times < 0 or attempt <= self.times
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-representable form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "times": self.times,
+            "hang_seconds": self.hang_seconds,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        """Rebuild a fault from :meth:`to_dict` output."""
+        return cls(
+            kind=str(data["kind"]),
+            times=int(data.get("times", 1)),
+            hang_seconds=float(data.get("hang_seconds", 300.0)),
+            exit_code=int(data.get("exit_code", 17)),
+        )
+
+
+class FaultPlan:
+    """An immutable mapping from placement seeds to the faults they suffer.
+
+    The plan is the unit of installation: :func:`install` makes it visible
+    to every executor worker (forked or spawned) and to the store's staging
+    hook; :func:`clear` removes it.  Plans round-trip through JSON so they
+    survive process boundaries byte-identically.
+    """
+
+    def __init__(self, faults: Mapping[int, FaultSpec]) -> None:
+        self._faults: Dict[int, FaultSpec] = {}
+        for seed, fault in faults.items():
+            if not isinstance(fault, FaultSpec):
+                raise TypeError(f"fault for seed {seed!r} is not a FaultSpec: {fault!r}")
+            self._faults[int(seed)] = fault
+
+    def fault_for(self, seed: int) -> Optional[FaultSpec]:
+        """The fault planned for a placement seed, or ``None``."""
+        return self._faults.get(int(seed))
+
+    def seeds(self) -> list:
+        """The targeted placement seeds, sorted."""
+        return sorted(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{seed}:{fault.kind}" for seed, fault in sorted(self._faults.items()))
+        return f"FaultPlan({{{parts}}})"
+
+    def to_json(self) -> str:
+        """Serialize the plan (sorted keys, so byte-stable)."""
+        return json.dumps(
+            {str(seed): fault.to_dict() for seed, fault in self._faults.items()},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls({int(seed): FaultSpec.from_dict(fault) for seed, fault in data.items()})
+
+
+#: The plan installed in this process (forked workers inherit it).
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate a fault plan for this process and all its future workers."""
+    global _ACTIVE
+    if not isinstance(plan, FaultPlan):
+        raise TypeError(f"expected a FaultPlan, got {plan!r}")
+    _ACTIVE = plan
+    os.environ[ENV_VAR] = plan.to_json()
+
+
+def clear() -> None:
+    """Deactivate any installed fault plan (safe to call when none is)."""
+    global _ACTIVE
+    _ACTIVE = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently-installed plan (module global, else the environment)."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    encoded = os.environ.get(ENV_VAR)
+    if not encoded:
+        return None
+    try:
+        return FaultPlan.from_json(encoded)
+    except (ValueError, KeyError, TypeError):
+        # A malformed plan must never turn into phantom behavior changes;
+        # ignoring it keeps production runs safe if the variable leaks.
+        return None
+
+
+@contextmanager
+def injected_faults(plan: FaultPlan):
+    """Context manager: install ``plan`` for the block, then restore before.
+
+    The previous plan (usually none) is reinstated on exit even when the
+    block raises, so tests cannot leak chaos into each other.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    previous_env = os.environ.get(ENV_VAR)
+    install(plan)
+    try:
+        yield plan
+    finally:
+        if previous is not None:
+            install(previous)
+        elif previous_env is not None:
+            _ACTIVE = None
+            os.environ[ENV_VAR] = previous_env
+        else:
+            clear()
+
+
+def fire_if_planned(spec: Any, attempt: int = 1) -> None:
+    """Fire the planned fault for a spec's placement seed, if any.
+
+    Called by the executor's cell runners (worker entry point and the
+    serial path) with the 1-based attempt number.  ``corrupt`` faults are
+    *not* fired here -- they act at store-staging time through
+    :func:`corrupt_staged_entry`.  A no-op (one dict lookup) when no plan
+    is installed.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    fault = plan.fault_for(int(spec.seed))
+    if fault is None or fault.kind == "corrupt" or not fault.fires(int(attempt)):
+        return
+    if fault.kind == "raise":
+        raise InjectedFault(
+            f"injected fault: seed {spec.seed} raises on attempt {attempt}"
+        )
+    if fault.kind == "hang":
+        time.sleep(fault.hang_seconds)
+        return
+    if fault.kind == "exit":
+        os._exit(fault.exit_code)
+
+
+def corrupt_staged_entry(stage_dir: Path, spec: Any) -> bool:
+    """Flip bytes in a staged ``payload.json`` when the plan says to.
+
+    Called by :meth:`repro.store.ExperimentStore` *after* checksums are
+    recorded and *before* the staged entry is renamed into place, so the
+    committed entry carries a checksum mismatch that
+    :meth:`~repro.store.ExperimentStore.verify` (and therefore every load)
+    must catch.  Returns whether a corruption was applied.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    try:
+        seed = int(spec.seed)
+    except (AttributeError, TypeError, ValueError):
+        return False
+    fault = plan.fault_for(seed)
+    if fault is None or fault.kind != "corrupt":
+        return False
+    payload = Path(stage_dir) / "payload.json"
+    if not payload.exists():
+        return False
+    data = bytearray(payload.read_bytes())
+    if not data:
+        return False
+    data[len(data) // 2] ^= 0xFF
+    payload.write_bytes(bytes(data))
+    return True

@@ -1,0 +1,189 @@
+"""Executor failure policy: validation, quarantine records, fallback, flush.
+
+Complements ``test_faults.py`` (which drives real worker processes): these
+tests pin the policy plumbing itself -- knob validation, the
+:class:`~repro.api.FailedResult` record, ``RunSet`` failure accounting,
+the pool-unavailable serial fallback keeping already-settled cells, and
+the ``KeyboardInterrupt`` flush that commits in-flight results before the
+interrupt unwinds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.api import executor
+from repro.api.supervisor import CellSuccess, PoolUnavailable
+from repro.store import ExperimentStore, spec_key
+from repro.testing import faults
+
+
+def small_spec() -> api.RunSpec:
+    return api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 14, "area": 2.0}),
+        algorithm=api.AlgorithmSpec("cluster", preset="fast"),
+    )
+
+
+def grid_specs(count: int):
+    return [small_spec().with_seed(seed) for seed in range(count)]
+
+
+class TestPolicyValidation:
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            api.run_grid(grid_specs(1), on_error="explode")
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            api.run_grid(grid_specs(1), timeout=0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            api.run_grid(grid_specs(1), retries=-1)
+
+    def test_policy_names_exported(self):
+        assert api.ON_ERROR_POLICIES == ("raise", "skip", "retry")
+
+
+class TestFailedResult:
+    def make(self) -> api.FailedResult:
+        return api.FailedResult(
+            spec=small_spec().with_seed(3), kind="timeout",
+            message="cell exceeded 2s", attempts=3, elapsed=6.5,
+        )
+
+    def test_contract(self):
+        failure = self.make()
+        assert failure.failed and not failure.all_checks_pass()
+        assert failure.seed == 3
+        line = failure.summary_line()
+        assert "seed 3" in line and "timeout" in line and "3 attempt" in line
+
+    def test_round_trip(self):
+        failure = self.make()
+        clone = api.FailedResult.from_dict(failure.to_dict())
+        assert clone == failure
+
+    def test_runset_accounting(self):
+        failure = self.make()
+        runset = executor.RunSet(spec=small_spec(), results=[], failures=[failure])
+        assert not runset.all_checks_pass()
+        assert runset.summary()["failures"] == 1
+        assert runset.to_dict()["failures"] == [failure.to_dict()]
+
+
+class TestGridExecutionError:
+    def test_worker_death_under_raise_policy(self):
+        plan = faults.FaultPlan({2: faults.FaultSpec("exit", times=-1)})
+        with faults.injected_faults(plan):
+            with pytest.raises(api.GridExecutionError) as info:
+                api.run_many(
+                    small_spec(), seeds=range(4), parallel=True, max_workers=2
+                )
+        assert info.value.failure.kind == "worker-death"
+        assert info.value.failure.seed == 2
+
+
+class _SettleOnePool:
+    """A stand-in pool: settles the first cell, then the given error."""
+
+    error: type = PoolUnavailable
+
+    def __init__(self, runner, max_workers=1, context=None, timeout=None,
+                 retries=0, backoff=0.25, **_):
+        self._runner = runner
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def run(self, payloads):
+        yield CellSuccess(
+            index=0, value=self._runner(payloads[0], 1), attempts=1, elapsed=0.0
+        )
+        raise self.error("injected by test")
+
+    def drain(self):
+        return []
+
+
+class _InterruptingPool(_SettleOnePool):
+    error = KeyboardInterrupt
+
+
+class TestPoolFallback:
+    def test_serial_fallback_keeps_settled_cells(self, tmp_path, monkeypatch):
+        """Satellite: a broken pool re-runs only the *unsettled* remainder."""
+        monkeypatch.setattr(executor, "SupervisedPool", _SettleOnePool)
+        serial_calls = []
+        real_serial = executor._run_cell_serial
+
+        def counting_serial(spec, **kwargs):
+            serial_calls.append(spec.seed)
+            return real_serial(spec, **kwargs)
+
+        monkeypatch.setattr(executor, "_run_cell_serial", counting_serial)
+        store = ExperimentStore(tmp_path / "store")
+        specs = grid_specs(3)
+        results = api.run_grid(specs, parallel=None, store=store)
+        assert [r.seed for r in results] == [0, 1, 2]
+        assert not any(r.failed for r in results)
+        # Cell 0 was settled by the pool before it broke: committed to the
+        # store already, and never re-run on the serial leg.
+        assert sorted(serial_calls) == [1, 2]
+        assert all(spec_key(spec) in store for spec in specs)
+
+    def test_explicit_parallel_surfaces_pool_failure(self, monkeypatch):
+        monkeypatch.setattr(executor, "SupervisedPool", _SettleOnePool)
+        with pytest.raises(PoolUnavailable):
+            api.run_grid(grid_specs(3), parallel=True)
+
+
+class TestKeyboardInterruptFlush:
+    def test_settled_cells_are_committed_before_the_interrupt_unwinds(
+        self, tmp_path, monkeypatch
+    ):
+        """Satellite: Ctrl-C mid-grid flushes finished cells to the store."""
+        monkeypatch.setattr(executor, "SupervisedPool", _InterruptingPool)
+        store = ExperimentStore(tmp_path / "store")
+        specs = grid_specs(3)
+        with pytest.raises(KeyboardInterrupt):
+            api.run_grid(specs, parallel=True, store=store)
+        assert spec_key(specs[0]) in store  # the settled cell survived
+        assert spec_key(specs[1]) not in store
+        # The interrupted grid resumes: only the missing cells execute.
+        resumed = api.run_grid(specs, parallel=False, store=store)
+        assert [r.cached for r in resumed] == [True, False, False]
+
+
+class TestSerialPolicy:
+    def test_serial_ignores_timeout_knob(self):
+        # Documented: the serial path cannot cancel a hung cell, so the
+        # knob validates but does not reject serial execution.
+        results = api.run_grid(grid_specs(2), parallel=False, timeout=5.0)
+        assert len(results) == 2
+
+    def test_skip_forces_zero_retries(self, monkeypatch):
+        attempts = []
+        plan = faults.FaultPlan({0: faults.FaultSpec("raise", times=-1)})
+        real_fire = faults.fire_if_planned
+
+        def counting_fire(spec, attempt=1):
+            attempts.append(attempt)
+            return real_fire(spec, attempt)
+
+        # The serial runner imports fire_if_planned from the module at each
+        # call, so patching the module attribute intercepts every attempt.
+        monkeypatch.setattr(faults, "fire_if_planned", counting_fire)
+        with faults.injected_faults(plan):
+            runset = api.run_many(
+                small_spec(), seeds=range(2), parallel=False,
+                retries=5, on_error="skip",
+            )
+        assert [f.seed for f in runset.failures] == [0]
+        assert runset.failures[0].attempts == 1
+        assert max(attempts) == 1  # skip: no second attempt anywhere

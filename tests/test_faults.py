@@ -1,0 +1,211 @@
+"""Fault-injection stress tests: grids under injected crashes, hangs and errors.
+
+These tests drive :func:`repro.api.run_many` grids through the seeded chaos
+harness (:mod:`repro.testing.faults`) and pin the executor's robustness
+contract: faulty cells are quarantined as structured
+:class:`~repro.api.FailedResult` markers, every other cell's result is
+bit-identical to a fault-free run, transient faults heal on retry, and a
+warm re-run against the same store executes only the previously-failed
+cells.  The ``corrupt`` fault exercises the store's integrity checking
+end to end.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import api
+from repro.store import ExperimentStore, StoreIntegrityError, spec_key
+from repro.testing import faults
+
+SEEDS = tuple(range(24))
+#: Seed -> terminal failure kind expected from the chaos plan below.
+EXPECTED_KINDS = {3: "worker-death", 7: "timeout", 11: "exception"}
+
+
+def small_spec() -> api.RunSpec:
+    return api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 16, "area": 2.0}),
+        algorithm=api.AlgorithmSpec("local-broadcast", preset="fast"),
+    )
+
+
+def chaos_plan() -> faults.FaultPlan:
+    """Persistent faults on three seeds: hard exit, hang, and an exception."""
+    return faults.FaultPlan(
+        {
+            3: faults.FaultSpec("exit", times=-1),
+            7: faults.FaultSpec("hang", times=-1, hang_seconds=60.0),
+            11: faults.FaultSpec("raise", times=-1),
+        }
+    )
+
+
+class TestChaosGrid:
+    """The acceptance scenario: a 24-cell grid with three faulty cells."""
+
+    @pytest.fixture(scope="class")
+    def clean_ensemble(self):
+        """The fault-free reference run (serial, no store)."""
+        return api.run_many(small_spec(), seeds=SEEDS, parallel=False)
+
+    @pytest.fixture(scope="class")
+    def chaos(self, clean_ensemble, tmp_path_factory):
+        """One chaotic pooled run against a store, shared by the assertions."""
+        store = ExperimentStore(tmp_path_factory.mktemp("chaos") / "store")
+        with faults.injected_faults(chaos_plan()):
+            ensemble = api.run_many(
+                small_spec(), seeds=SEEDS, parallel=True, max_workers=4,
+                timeout=2.0, retries=1, on_error="retry", backoff=0.05,
+                store=store,
+            )
+        return ensemble, store, clean_ensemble
+
+    def test_exactly_the_faulty_cells_fail(self, chaos):
+        ensemble, _, _ = chaos
+        assert sorted(f.seed for f in ensemble.failures) == sorted(EXPECTED_KINDS)
+        assert {f.seed: f.kind for f in ensemble.failures} == EXPECTED_KINDS
+        for failure in ensemble.failures:
+            assert failure.failed
+            assert failure.attempts == 2  # retries=1 -> two attempts
+            assert not failure.all_checks_pass()
+            assert str(failure.seed) in failure.summary_line()
+        assert not ensemble.all_checks_pass()
+        assert ensemble.summary()["failures"] == len(EXPECTED_KINDS)
+
+    def test_surviving_cells_bit_identical_to_clean_run(self, chaos):
+        ensemble, _, clean = chaos
+        clean_by_seed = {result.seed: result for result in clean.results}
+        assert len(ensemble.results) == len(SEEDS) - len(EXPECTED_KINDS)
+        for result in ensemble.results:
+            assert result.payload() == clean_by_seed[result.seed].payload()
+
+    def test_failed_cells_never_cached(self, chaos):
+        _, store, _ = chaos
+        spec = small_spec()
+        for seed in SEEDS:
+            cached = spec_key(spec.with_seed(seed)) in store
+            assert cached == (seed not in EXPECTED_KINDS)
+
+    def test_warm_rerun_executes_only_failed_cells(self, chaos):
+        ensemble, store, clean = chaos
+        rerun = api.run_many(small_spec(), seeds=SEEDS, parallel=False, store=store)
+        assert not rerun.failures
+        recomputed = sorted(r.seed for r in rerun.results if not r.cached)
+        assert recomputed == sorted(EXPECTED_KINDS)
+        clean_by_seed = {result.seed: result for result in clean.results}
+        for result in rerun.results:
+            assert result.payload() == clean_by_seed[result.seed].payload()
+
+
+class TestRetryHealing:
+    def test_transient_faults_heal_on_retry(self):
+        plan = faults.FaultPlan(
+            {
+                2: faults.FaultSpec("raise", times=1),
+                5: faults.FaultSpec("exit", times=1),
+            }
+        )
+        with faults.injected_faults(plan):
+            ensemble = api.run_many(
+                small_spec(), seeds=range(8), parallel=True, max_workers=4,
+                retries=2, on_error="retry", backoff=0.05,
+            )
+        assert not ensemble.failures
+        assert len(ensemble.results) == 8
+
+    def test_serial_retry_heals_then_skip_quarantines(self):
+        plan = faults.FaultPlan({4: faults.FaultSpec("raise", times=1)})
+        with faults.injected_faults(plan):
+            healed = api.run_many(
+                small_spec(), seeds=range(6), parallel=False,
+                retries=1, on_error="retry", backoff=0.0,
+            )
+        assert not healed.failures and len(healed.results) == 6
+
+        persistent = faults.FaultPlan({4: faults.FaultSpec("raise", times=-1)})
+        with faults.injected_faults(persistent):
+            skipped = api.run_many(
+                small_spec(), seeds=range(6), parallel=False, on_error="skip"
+            )
+        assert [f.seed for f in skipped.failures] == [4]
+        assert skipped.failures[0].attempts == 1  # skip never retries
+        assert len(skipped.results) == 5
+
+    def test_on_error_raise_propagates_the_injected_exception(self):
+        plan = faults.FaultPlan({1: faults.FaultSpec("raise", times=-1)})
+        with faults.injected_faults(plan):
+            with pytest.raises(faults.InjectedFault):
+                api.run_many(small_spec(), seeds=range(3), parallel=False)
+
+
+class TestCorruptFault:
+    def test_corruption_detected_on_load_and_collected_by_gc(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        spec = small_spec().with_seed(9)
+        plan = faults.FaultPlan({9: faults.FaultSpec("corrupt")})
+        with faults.injected_faults(plan):
+            api.run(spec, store=store)
+        with pytest.raises(StoreIntegrityError):
+            store.load_result(spec)
+        report = store.gc()
+        assert spec_key(spec) in report["removed_corrupt"]
+        assert store.load_result(spec) is None
+
+    def test_corruption_spares_untargeted_seeds(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        plan = faults.FaultPlan({9: faults.FaultSpec("corrupt")})
+        spec = small_spec().with_seed(10)
+        with faults.injected_faults(plan):
+            first = api.run(spec, store=store)
+        again = store.load_result(spec)
+        assert again is not None and again.payload() == first.payload()
+
+
+class TestFaultPlanUnit:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultSpec("explode")
+
+    def test_times_semantics(self):
+        once = faults.FaultSpec("raise", times=1)
+        assert once.fires(1) and not once.fires(2)
+        forever = faults.FaultSpec("raise", times=-1)
+        assert forever.fires(1) and forever.fires(99)
+
+    def test_plan_json_round_trip(self):
+        plan = chaos_plan()
+        clone = faults.FaultPlan.from_json(plan.to_json())
+        assert clone.seeds() == plan.seeds()
+        for seed in plan.seeds():
+            assert clone.fault_for(seed) == plan.fault_for(seed)
+
+    def test_install_propagates_via_environment(self):
+        import os
+
+        plan = faults.FaultPlan({1: faults.FaultSpec("raise")})
+        with faults.injected_faults(plan):
+            assert os.environ.get(faults.ENV_VAR)
+            # A spawned worker has no module global: it must recover the
+            # plan from the environment alone.  (The context manager's
+            # exit path resets the global either way.)
+            faults._ACTIVE = None
+            recovered = faults.active_plan()
+            assert recovered is not None and recovered.seeds() == [1]
+        assert faults.ENV_VAR not in os.environ
+        assert faults.active_plan() is None
+
+    def test_malformed_environment_plan_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "{not json")
+        assert faults.active_plan() is None
+
+    def test_fire_respects_attempt_numbers(self):
+        plan = faults.FaultPlan({5: faults.FaultSpec("raise", times=1)})
+        cell = SimpleNamespace(seed=5)
+        with faults.injected_faults(plan):
+            with pytest.raises(faults.InjectedFault):
+                faults.fire_if_planned(cell, attempt=1)
+            faults.fire_if_planned(cell, attempt=2)  # healed: no raise
+            faults.fire_if_planned(SimpleNamespace(seed=6), attempt=1)  # untargeted

@@ -1,0 +1,215 @@
+"""Cross-process store locking: mutual exclusion, stale takeover, gc safety.
+
+Covers :class:`repro.store.FileLock` directly (both the ``fcntl`` and the
+``O_EXCL``-pidfile strategies) and the :class:`~repro.store.ExperimentStore`
+behaviors built on it: concurrent processes writing the same store leave
+nothing corrupt, and :meth:`~repro.store.ExperimentStore.gc` racing a live
+writer never collects its in-flight staging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import api
+from repro.store import ExperimentStore, FileLock, LockTimeout, pid_alive
+
+STRATEGIES = ("fcntl", "exclusive")
+
+
+def small_spec() -> api.RunSpec:
+    return api.RunSpec(
+        deployment=api.DeploymentSpec("uniform", {"nodes": 14, "area": 2.0}),
+        algorithm=api.AlgorithmSpec("cluster", preset="fast"),
+    )
+
+
+def _dead_pid() -> int:
+    """A PID guaranteed to belong to no live process (a reaped child's)."""
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=time.sleep, args=(0,))
+    proc.start()
+    proc.join(10)
+    assert proc.pid is not None
+    return proc.pid
+
+
+def _hold_lock(path: str, strategy: str, release: multiprocessing.Event,
+               acquired: multiprocessing.Event) -> None:
+    with FileLock(path, timeout=10.0, strategy=strategy):
+        acquired.set()
+        release.wait(30)
+
+
+def _store_writer(root: str, seeds) -> None:
+    store = ExperimentStore(root)
+    spec = small_spec()
+    for seed in seeds:
+        api.run(spec.with_seed(seed), store=store)
+
+
+class TestFileLock:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_excludes_another_process_then_frees(self, tmp_path, strategy):
+        path = str(tmp_path / "x.lock")
+        ctx = multiprocessing.get_context("fork")
+        release, acquired = ctx.Event(), ctx.Event()
+        holder = ctx.Process(target=_hold_lock, args=(path, strategy, release, acquired))
+        holder.start()
+        try:
+            assert acquired.wait(10), "holder never took the lock"
+            contender = FileLock(path, timeout=0.3, poll_interval=0.02, strategy=strategy)
+            with pytest.raises(LockTimeout):
+                contender.acquire()
+            release.set()
+            holder.join(10)
+            with contender:
+                assert contender.held
+            assert not contender.held
+        finally:
+            release.set()
+            holder.join(10)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_excludes_a_second_instance_in_process(self, tmp_path, strategy):
+        path = tmp_path / "x.lock"
+        first = FileLock(path, strategy=strategy)
+        second = FileLock(path, timeout=0.2, poll_interval=0.02, strategy=strategy)
+        with first:
+            with pytest.raises(LockTimeout):
+                second.acquire()
+        with second:
+            pass  # freed by first's release
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_reentrant_within_a_process(self, tmp_path, strategy):
+        lock = FileLock(tmp_path / "x.lock", strategy=strategy)
+        with lock:
+            with lock:
+                assert lock.held
+            assert lock.held  # inner exit must not release the outer hold
+        assert not lock.held
+
+    def test_release_without_hold_is_an_error(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with pytest.raises(RuntimeError, match="does not hold"):
+            lock.release()
+
+    def test_exclusive_steals_from_a_dead_owner(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(f"{_dead_pid()}\n", encoding="ascii")
+        lock = FileLock(path, timeout=2.0, poll_interval=0.02, strategy="exclusive")
+        with lock:  # dead owner -> stolen without waiting for staleness
+            assert lock.held
+
+    def test_exclusive_respects_a_live_fresh_owner(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(f"{os.getpid()}\n", encoding="ascii")
+        lock = FileLock(path, timeout=0.3, poll_interval=0.02, strategy="exclusive")
+        with pytest.raises(LockTimeout):
+            lock.acquire()
+        assert path.exists()  # never stolen from a live owner
+
+    def test_exclusive_steals_unreadable_stale_file(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("garbage\n", encoding="ascii")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        lock = FileLock(
+            path, timeout=2.0, poll_interval=0.02, stale_after=60.0, strategy="exclusive"
+        )
+        with lock:
+            assert lock.held
+
+    def test_exclusive_keeps_unreadable_fresh_file(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("garbage\n", encoding="ascii")
+        lock = FileLock(path, timeout=0.3, poll_interval=0.02, strategy="exclusive")
+        with pytest.raises(LockTimeout):
+            lock.acquire()
+
+    def test_pid_alive(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(_dead_pid())
+        assert not pid_alive(0) and not pid_alive(-5)
+
+
+class TestConcurrentStoreWriters:
+    def test_two_processes_racing_on_the_same_keys_leave_nothing_corrupt(self, tmp_path):
+        root = tmp_path / "store"
+        ExperimentStore(root)  # create the marker before the race
+        seeds = list(range(5))
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(target=_store_writer, args=(str(root), seeds)) for _ in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(120)
+        assert all(proc.exitcode == 0 for proc in writers)
+        store = ExperimentStore(root)
+        assert len(store) == len(seeds)
+        for key in store.keys():
+            store.verify(key)  # raises on any torn/corrupt entry
+        report = store.gc()
+        assert report["removed_corrupt"] == []
+        assert report["corrupt_kept"] == []
+        assert len(store) == len(seeds)
+
+
+class TestGCVersusLiveWriter:
+    def test_gc_keeps_live_writer_staging_and_sweeps_dead(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        key_a = "ab" + "0" * 62
+        key_b = "cd" + "1" * 62
+        live = store.root / "tmp" / f"{key_a}.{os.getpid()}"
+        live.mkdir()
+        (live / "payload.json").write_text("{}", encoding="utf-8")
+        dead = store.root / "tmp" / f"{key_b}.{_dead_pid()}"
+        dead.mkdir()
+        report = store.gc()
+        assert report["staging_kept_live"] == 1
+        assert report["staging_debris"] == 1
+        assert live.exists(), "gc half-deleted a live writer's staging"
+        assert (live / "payload.json").exists()
+        assert not dead.exists()
+
+    def test_gc_keeps_live_manifest_staging(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        live = store.root / "tmp" / f"manifest-sweep.{os.getpid()}.json"
+        live.write_text("{}", encoding="utf-8")
+        dead = store.root / "tmp" / f"manifest-old.{_dead_pid()}.json"
+        dead.write_text("{}", encoding="utf-8")
+        report = store.gc()
+        assert report["staging_kept_live"] == 1
+        assert live.exists() and not dead.exists()
+
+    def test_gc_waits_for_a_committing_writer(self, tmp_path):
+        """A commit in flight (store lock held) blocks gc; gc then proceeds."""
+        store = ExperimentStore(tmp_path / "store")
+        ctx = multiprocessing.get_context("fork")
+        release, acquired = ctx.Event(), ctx.Event()
+        holder = ctx.Process(
+            target=_hold_lock,
+            args=(str(store.root / ".lock"), store._lock.strategy, release, acquired),
+        )
+        holder.start()
+        try:
+            assert acquired.wait(10)
+            store._lock.timeout = 0.3
+            store._lock.poll_interval = 0.02
+            with pytest.raises(LockTimeout):
+                store.gc()
+            release.set()
+            holder.join(10)
+            store._lock.timeout = 10.0
+            report = store.gc()
+            assert report["remaining"] == 0
+        finally:
+            release.set()
+            holder.join(10)
