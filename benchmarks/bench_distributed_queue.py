@@ -1,0 +1,172 @@
+"""Distributed-queue benchmark: N-worker scaling and queue overhead per cell.
+
+Measures the tentpole claim of :mod:`repro.distributed`: sharding a grid
+across N worker processes divides wall-clock by roughly N, and the
+merged collection stays **bit-identical** to a serial ``run_grid`` over
+the same specs (the equality assertion runs before any timing is
+trusted).
+
+Legs:
+
+* ``serial`` -- the ``run_grid(parallel=False)`` baseline;
+* ``workers_N`` -- the same grid through ``run_distributed`` with N local
+  worker processes (fresh store each time, so every cell executes);
+* ``overhead`` -- a 1-worker distributed pass vs the serial baseline over
+  a *warm* queue structure: the per-cell cost of claims, leases and
+  heartbeats (milliseconds per cell).
+
+Scaling efficiency is ``t_serial / (N * t_N)``; the full-mode acceptance
+gate is >= 0.5 efficiency at the largest N (queue overhead and store
+commits bound it below 1.0).  Measurements go to
+``BENCH_distributed_queue.json``.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_distributed_queue.py
+    PYTHONPATH=src python benchmarks/bench_distributed_queue.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import api
+from repro.distributed import run_distributed
+from repro.store import ExperimentStore
+
+
+def build_grid(quick: bool) -> List[api.RunSpec]:
+    """Uniform deployments x seeds; >= 24 cells in both modes."""
+    nodes, n_seeds = (16, 24) if quick else (40, 32)
+    return [
+        api.RunSpec(
+            deployment=api.DeploymentSpec("uniform", {"nodes": nodes, "area": 2.2}, seed=seed),
+            algorithm=api.AlgorithmSpec("local-broadcast", preset="fast"),
+            tags={"bench": "distributed-queue"},
+        )
+        for seed in range(n_seeds)
+    ]
+
+
+def bench_serial(grid: List[api.RunSpec]) -> Dict[str, float]:
+    """The baseline: one process, no queue, no store."""
+    start = time.perf_counter()
+    api.run_grid(grid, parallel=False)
+    return {"seconds": time.perf_counter() - start}
+
+
+def bench_workers(
+    grid: List[api.RunSpec], n_workers: int, serial: List, root: Path
+) -> Dict[str, float]:
+    """One distributed pass on a fresh store; asserts payload equality."""
+    store = ExperimentStore(root / f"store-w{n_workers}")
+    start = time.perf_counter()
+    results = run_distributed(
+        grid, store, f"bench-w{n_workers}", workers=n_workers,
+        timeout=600.0, poll_interval=0.05, lease_timeout=30.0,
+    )
+    seconds = time.perf_counter() - start
+    assert len(results) == len(grid), "a distributed pass lost cells"
+    mismatches = sum(1 for a, b in zip(results, serial) if a.payload() != b.payload())
+    assert mismatches == 0, f"{mismatches} distributed cells diverged from serial"
+    return {"workers": n_workers, "seconds": seconds, "bit_identical": True}
+
+
+def bench_overhead(grid: List[api.RunSpec], serial_s: float, root: Path) -> Dict[str, float]:
+    """Queue overhead per cell: 1-worker distributed time minus serial time.
+
+    One worker executes the same cells the serial pass does, so the extra
+    wall-clock is pure orchestration: claims, lease writes, heartbeats and
+    the store commits the serial baseline skipped.
+    """
+    store = ExperimentStore(root / "store-overhead")
+    start = time.perf_counter()
+    run_distributed(
+        grid, store, "bench-overhead", workers=1,
+        timeout=600.0, poll_interval=0.05,
+    )
+    one_worker_s = time.perf_counter() - start
+    per_cell_ms = max(0.0, one_worker_s - serial_s) / len(grid) * 1e3
+    return {
+        "one_worker_s": one_worker_s,
+        "serial_s": serial_s,
+        "overhead_per_cell_ms": per_cell_ms,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: smaller cells, workers 1-2 only; efficiency is "
+        "recorded but not gated on (shared CI runners are too noisy for "
+        "wall-clock gates); bit-identity still fails loudly",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_distributed_queue.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+
+    grid = build_grid(args.quick)
+    assert len(grid) >= 24, f"grid has {len(grid)} cells, need >= 24"
+    worker_counts = [1, 2] if args.quick else [1, 2, 4]
+    required_efficiency = None if args.quick else 0.5
+
+    root = Path(tempfile.mkdtemp(prefix="bench-distq-"))
+    print(f"== distributed queue: {len(grid)}-cell grid, workers {worker_counts} ==")
+    serial_results = api.run_grid(grid, parallel=False)
+    baseline = bench_serial(grid)
+    print(f"  serial baseline: {baseline['seconds']*1e3:8.1f} ms")
+
+    scaling = []
+    for n_workers in worker_counts:
+        leg = bench_workers(grid, n_workers, serial_results, root)
+        leg["efficiency"] = baseline["seconds"] / max(n_workers * leg["seconds"], 1e-9)
+        scaling.append(leg)
+        print(
+            f"  {n_workers} worker(s): {leg['seconds']*1e3:8.1f} ms | "
+            f"efficiency {leg['efficiency']:5.2f} | bit-identical: {leg['bit_identical']}"
+        )
+
+    overhead = bench_overhead(grid, baseline["seconds"], root)
+    print(f"  queue overhead: {overhead['overhead_per_cell_ms']:.2f} ms/cell")
+
+    top = scaling[-1]
+    if required_efficiency is None:
+        ok = True
+        print(f"\nsmoke mode: efficiency at {top['workers']} workers "
+              f"{top['efficiency']:.2f} (not gated)")
+    else:
+        ok = top["efficiency"] >= required_efficiency
+        print(
+            f"\nacceptance: efficiency >= {required_efficiency:.2f} at "
+            f"{top['workers']} workers: {top['efficiency']:.2f} -> "
+            f"{'PASS' if ok else 'FAIL'}"
+        )
+
+    record = {
+        "benchmark": "distributed_queue",
+        "mode": "quick" if args.quick else "full",
+        "cells": len(grid),
+        "required_efficiency": required_efficiency,
+        "serial": baseline,
+        "scaling": scaling,
+        "overhead": overhead,
+        "pass": bool(ok),
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    shutil.rmtree(root, ignore_errors=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

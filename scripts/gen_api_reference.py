@@ -50,6 +50,10 @@ MODULES = {
         "sweeps.md",
         "Parameter-sweep runners assembling RunSpec grids over the executor.",
     ),
+    "repro.distributed": (
+        "distributed.md",
+        "Distributed sweep orchestration: work queue, workers, coordinator, sweep files.",
+    ),
     "repro.testing.faults": (
         "testing-faults.md",
         "Seeded fault injection: deterministic chaos plans for robustness tests.",

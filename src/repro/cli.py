@@ -28,8 +28,15 @@ executes such a JSON artifact.  All deployment/algorithm dispatch lives in
 ``--store PATH`` on any run-style subcommand enables the content-addressed
 result cache (:mod:`repro.store`): cached runs are loaded instead of
 executed (``--cache refresh`` recomputes, ``--cache off`` ignores the
-store), and ``repro-sim store list|show|gc`` inspects and maintains a
-store.  ``REPRO_STORE`` in the environment supplies the default path.
+store), and ``repro-sim store list|show|verify|gc`` inspects and maintains
+a store.  ``REPRO_STORE`` in the environment supplies the default path.
+
+``repro-sim queue submit|worker|status|resume`` shards a sweep across
+worker processes (or hosts sharing the store's filesystem) through the
+store-backed work queue of :mod:`repro.distributed`: ``submit`` compiles a
+declarative sweep file (``--dry-run`` prints the expanded grid), ``worker``
+drains cells, ``status`` shows progress and leases, and ``resume`` finishes
+an interrupted grid and merges the collection.
 
 Multi-seed ``repro-sim run`` accepts the executor's per-cell failure
 policy: ``--timeout SECONDS`` cancels hung cells, ``--retries N`` retries
@@ -367,24 +374,61 @@ def _cmd_store_list(args: argparse.Namespace) -> int:
     store = _open_store(args)
     if store is None:
         return 2
-    entries = store.entries()
+    collection = getattr(args, "collection", None)
+    if collection:
+        try:
+            member_keys = set(store.read_manifest(collection).get("keys", []))
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        entries = [m for m in store.entries() if m.get("key") in member_keys]
+    else:
+        entries = store.entries()
     if not entries:
-        print(f"store at {store.root}: empty")
+        suffix = f" in collection {collection!r}" if collection else ""
+        print(f"store at {store.root}: empty{suffix}")
         return 0
-    print(f"store at {store.root}: {len(entries)} entries")
-    for manifest in entries:
+    limit = getattr(args, "limit", None)
+    shown = entries if limit is None else entries[: max(0, limit)]
+    scope = f" in collection {collection!r}" if collection else ""
+    print(f"store at {store.root}: {len(entries)} entries{scope}")
+    for manifest in shown:
         size = sum(meta.get("bytes", 0) for meta in manifest.get("files", {}).values())
         print(
             f"  {manifest['key'][:12]}  {manifest['kind']:6s}  "
             f"{manifest.get('label', '?'):44s}  {size:8,d} B"
         )
-    names = store.manifest_names()
-    if names:
-        print("collections:")
-        for name in names:
-            data = store.read_manifest(name)
-            print(f"  {name}: {len(data.get('keys', []))} entries")
+    if len(shown) < len(entries):
+        print(f"  ... {len(entries) - len(shown)} more (raise --limit to see them)")
+    if not collection:
+        names = store.manifest_names()
+        if names:
+            print("collections:")
+            for name in names:
+                data = store.read_manifest(name)
+                print(f"  {name}: {len(data.get('keys', []))} entries")
     return 0
+
+
+@_store_command
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    report = store.verify_all()
+    print(f"store at {store.root}: {report['checked']} entries checked, {report['ok']} ok")
+    if not report["corrupt"]:
+        print("integrity: ok")
+        return 0
+    print(f"corrupt entries: {len(report['corrupt'])}", file=sys.stderr)
+    for key, message in sorted(report["corrupt"].items()):
+        print(f"  {key[:12]}  {message}", file=sys.stderr)
+    print(
+        "nothing was deleted; 'repro-sim store gc' removes unreferenced corrupt "
+        "entries, cache='refresh' recomputes them",
+        file=sys.stderr,
+    )
+    return 1
 
 
 @_store_command
@@ -440,8 +484,164 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _queue_command(handler):
+    """Wrap a queue subcommand so queue/sweep/store errors print cleanly."""
+
+    def wrapped(args: argparse.Namespace) -> int:
+        from .distributed import QueueError, SweepFileError
+        from .store import StoreError
+
+        try:
+            return handler(args)
+        except (QueueError, SweepFileError, StoreError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapped
+
+
+def _spec_grid_line(index: int, key: str, spec: RunSpec) -> str:
+    """One human-readable row of an expanded sweep grid."""
+    tags = spec.tag_dict()
+    tag_text = " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    params = " ".join(f"{k}={v}" for k, v in sorted(spec.deployment.param_dict().items()))
+    return (
+        f"  [{index:4d}] {key[:12]}  {spec.algorithm.name} on {spec.deployment.kind}"
+        f"({params}) seed={spec.seed}" + (f"  {tag_text}" if tag_text else "")
+    )
+
+
+@_queue_command
+def _cmd_queue_submit(args: argparse.Namespace) -> int:
+    from .distributed import submit_grid
+    from .distributed.sweepfile import load_sweep_file
+    from .store import hashing
+
+    sweep = load_sweep_file(args.sweep_file)
+    name = args.name or sweep.name
+    keys = [hashing.spec_key(spec) for spec in sweep.specs]
+    print(f"sweep {name!r}: {len(sweep)} cells ({sweep.axis_summary()})")
+    if args.dry_run:
+        for index, (key, spec) in enumerate(zip(keys, sweep.specs)):
+            print(_spec_grid_line(index, key, spec))
+        print("dry run: nothing submitted")
+        return 0
+    path = getattr(args, "store", None)
+    if not path:
+        print("error: no store given; pass --store PATH or set REPRO_STORE", file=sys.stderr)
+        return 2
+    from .store import ExperimentStore
+
+    store = ExperimentStore(path)  # submit creates the store when missing
+    report = submit_grid(
+        store, name, sweep.specs, lease_timeout=args.lease_timeout, force=args.force
+    )
+    print(report.summary_line())
+    print(
+        f"start workers with: repro-sim queue worker --store {store.root} --name {report.name}"
+    )
+    return 0
+
+
+@_queue_command
+def _cmd_queue_worker(args: argparse.Namespace) -> int:
+    from .distributed import QueueWorker
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    worker = QueueWorker(
+        store,
+        args.name,
+        worker_id=args.worker_id,
+        retries=args.retries,
+        poll_interval=args.poll,
+        cell_timeout=args.cell_timeout,
+        max_cells=args.max_cells,
+    )
+    report = worker.work()
+    print(report.summary_line())
+    return 0 if report.failed == 0 else 3
+
+
+@_queue_command
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from .distributed import queue_status
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    if not args.name:
+        snapshot = queue_status(store)
+        if not snapshot:
+            print(f"store at {store.root}: no work queues")
+            return 0
+        for queue_name, counts in sorted(snapshot.items()):
+            print(
+                f"  {queue_name}: {counts['done']}/{counts['total']} done, "
+                f"{counts['leased']} leased, {counts['pending']} pending, "
+                f"{counts['failed']} failed"
+            )
+        return 0
+    status = queue_status(store, args.name)
+    counts = status["counts"]
+    print(
+        f"queue {status['name']!r}: {counts['done']}/{counts['total']} done, "
+        f"{counts['leased']} leased ({counts['stale']} stale), "
+        f"{counts['pending']} pending, {counts['failed']} failed"
+    )
+    for key, lease in sorted(status["leases"].items()):
+        state = "STALE" if lease["stale"] else "live"
+        print(
+            f"  lease {key[:12]}  {lease.get('worker', '?')} "
+            f"(pid {lease.get('pid', '?')} on {lease.get('host', '?')}, "
+            f"beat {lease['age']:.1f}s ago, attempt {lease.get('attempts', '?')}) [{state}]"
+        )
+    for line in status["failures"]:
+        print(f"  failed: {line}", file=sys.stderr)
+    print(f"complete: {status['complete']}")
+    return 0
+
+
+@_queue_command
+def _cmd_queue_resume(args: argparse.Namespace) -> int:
+    from .distributed import WorkQueue, merge_collection, spawn_local_workers, wait_for_completion
+
+    store = _open_store(args)
+    if store is None:
+        return 2
+    queue = WorkQueue(store, args.name)
+    if args.retry_failed:
+        cleared = queue.requeue_failed()
+        if cleared:
+            print(f"requeued {cleared} quarantined cell(s)")
+    counts = queue.counts()
+    remaining = counts["pending"] + counts["leased"] + counts["stale"]
+    if remaining:
+        workers = spawn_local_workers(store.root, args.name, args.workers) if args.workers else []
+        print(f"{remaining} unsettled cell(s); {len(workers)} local worker(s) started")
+        wait_for_completion(
+            store, args.name, timeout=args.timeout,
+            workers=workers or None, respawn=args.workers,
+        )
+    results = merge_collection(store, args.name, collection=args.collection)
+    failed = [r for r in results if getattr(r, "failed", False)]
+    collection = args.collection or f"queue-{args.name}"
+    print(f"merged {len(results)} cell(s) into collection {collection!r}")
+    if failed:
+        print(f"quarantined cells: {len(failed)}", file=sys.stderr)
+        for failure in failed:
+            print(f"  {failure.summary_line()}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _parse_seeds(text: str) -> list:
-    return [int(part) for part in text.replace(",", " ").split()]
+    # Shared with the sweep-file 'seeds' field: comma/space lists of
+    # integers and start:stop[:step] ranges, e.g. "0,1,2", "0:32", "0:64:2".
+    from .distributed.sweepfile import parse_seed_spec
+
+    return parse_seed_spec(text)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -620,8 +820,22 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = store_.add_subparsers(dest="store_command", required=True)
 
     store_list = store_sub.add_parser("list", help="list stored entries and collections")
+    store_list.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N entries (oldest first; the total is always shown)",
+    )
+    store_list.add_argument(
+        "--collection", default=None, metavar="NAME",
+        help="only list entries referenced by the named collection manifest",
+    )
     _add_store_path_argument(store_list)
     store_list.set_defaults(handler=_cmd_store_list)
+
+    store_verify = store_sub.add_parser(
+        "verify", help="re-check every entry's checksums; report (never delete) corruption"
+    )
+    _add_store_path_argument(store_verify)
+    store_verify.set_defaults(handler=_cmd_store_verify)
 
     store_show = store_sub.add_parser("show", help="verify and print one stored entry")
     store_show.add_argument("key", help="entry key (any unambiguous prefix)")
@@ -638,6 +852,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_path_argument(store_gc)
     store_gc.set_defaults(handler=_cmd_store_gc)
+
+    queue_ = subparsers.add_parser(
+        "queue", help="distributed sweep execution: a store-backed work queue"
+    )
+    queue_sub = queue_.add_subparsers(dest="queue_command", required=True)
+
+    queue_submit = queue_sub.add_parser(
+        "submit", help="compile a sweep file and submit its grid as a work queue"
+    )
+    queue_submit.add_argument(
+        "--sweep-file", required=True, metavar="PATH",
+        help="declarative sweep file (.yaml/.yml/.json) describing the grid",
+    )
+    queue_submit.add_argument(
+        "--name", default=None,
+        help="queue name (default: the sweep file's 'name' field, else its stem)",
+    )
+    queue_submit.add_argument(
+        "--dry-run", action="store_true",
+        help="print the fully expanded spec grid and submit nothing",
+    )
+    queue_submit.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="heartbeat age after which a worker's lease is considered stale "
+        "and its cell reclaimed (default 30)",
+    )
+    queue_submit.add_argument(
+        "--force", action="store_true",
+        help="replace an existing queue of the same name holding a different grid",
+    )
+    _add_store_path_argument(queue_submit)
+    queue_submit.set_defaults(handler=_cmd_queue_submit)
+
+    queue_worker = queue_sub.add_parser(
+        "worker", help="run one worker process against a submitted queue"
+    )
+    queue_worker.add_argument("--name", required=True, help="the queue to drain")
+    queue_worker.add_argument(
+        "--worker-id", default=None, help="worker identity in leases (default: host-pid)"
+    )
+    queue_worker.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="in-lease retries per cell before it is quarantined (default 2)",
+    )
+    queue_worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle poll interval while other workers hold the remaining cells",
+    )
+    queue_worker.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="stop heartbeating a cell after this long, letting another worker "
+        "reclaim it (the distributed analogue of --timeout)",
+    )
+    queue_worker.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="exit after claiming N cells (default: run until the grid settles)",
+    )
+    _add_store_path_argument(queue_worker)
+    queue_worker.set_defaults(handler=_cmd_queue_worker)
+
+    queue_status_ = queue_sub.add_parser(
+        "status", help="progress, live/stale leases and failures of the store's queues"
+    )
+    queue_status_.add_argument(
+        "--name", default=None, help="one queue in detail (default: summarize all)"
+    )
+    _add_store_path_argument(queue_status_)
+    queue_status_.set_defaults(handler=_cmd_queue_status)
+
+    queue_resume = queue_sub.add_parser(
+        "resume", help="drain an interrupted queue with local workers and merge the collection"
+    )
+    queue_resume.add_argument("--name", required=True, help="the queue to finish")
+    queue_resume.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="local worker processes to start (0 = merge only; default 2)",
+    )
+    queue_resume.add_argument(
+        "--no-retry-failed", dest="retry_failed", action="store_false",
+        help="keep quarantined cells quarantined instead of requeueing them",
+    )
+    queue_resume.add_argument(
+        "--collection", default=None,
+        help="merged collection manifest name (default: queue-<name>)",
+    )
+    queue_resume.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up if the grid has not settled after this long",
+    )
+    _add_store_path_argument(queue_resume)
+    queue_resume.set_defaults(handler=_cmd_queue_resume)
 
     return parser
 

@@ -1,0 +1,54 @@
+"""Distributed sweep orchestration over a shared experiment store.
+
+This package shards RunSpec grids across any number of independent worker
+processes -- on one machine or on many hosts sharing a filesystem --
+against one content-addressed :class:`~repro.store.ExperimentStore`:
+
+* :mod:`~repro.distributed.queue` -- the crash-safe file-based work queue
+  (leases, heartbeats, stale-lease takeover, failure quarantine);
+* :mod:`~repro.distributed.worker` -- the claim -> execute -> commit ->
+  heartbeat worker loop;
+* :mod:`~repro.distributed.coordinator` -- grid submission, progress
+  watching, local worker spawning and the grid-order collection merge
+  (bit-identical to serial :func:`~repro.api.run_grid`);
+* :mod:`~repro.distributed.sweepfile` -- declarative YAML/JSON sweep files
+  compiled to RunSpec grids.
+
+The CLI surface is ``repro-sim queue submit|worker|status|resume``.
+"""
+
+from .coordinator import (
+    CoordinatorError,
+    SubmitReport,
+    merge_collection,
+    queue_status,
+    run_distributed,
+    spawn_local_workers,
+    submit_grid,
+    wait_for_completion,
+)
+from .queue import Claim, QueueError, WorkQueue, queue_names
+from .sweepfile import SweepFile, SweepFileError, compile_sweep, load_sweep_file, parse_seed_spec
+from .worker import QueueWorker, WorkerReport
+
+__all__ = [
+    "Claim",
+    "CoordinatorError",
+    "QueueError",
+    "QueueWorker",
+    "SubmitReport",
+    "SweepFile",
+    "SweepFileError",
+    "WorkQueue",
+    "WorkerReport",
+    "compile_sweep",
+    "load_sweep_file",
+    "merge_collection",
+    "parse_seed_spec",
+    "queue_names",
+    "queue_status",
+    "run_distributed",
+    "spawn_local_workers",
+    "submit_grid",
+    "wait_for_completion",
+]

@@ -1,0 +1,277 @@
+"""The coordinator side: submit grids, watch progress, merge collections.
+
+The coordinator never executes cells.  It writes the queue (one
+``grid.json``), optionally spawns local worker processes, waits for the
+grid to settle, and merges the outcome into a named collection manifest --
+in *original grid order*, so the merged result list is bit-identical (per
+:meth:`~repro.api.RunResult.payload`) to what a serial
+:func:`~repro.api.run_grid` over the same specs would return.
+
+The moving parts compose freely: :func:`submit_grid` +
+:func:`spawn_local_workers` + :func:`wait_for_completion` +
+:func:`merge_collection` for scripted control, or the one-call
+:func:`run_distributed` for the common "run this grid on N local
+processes" case.  Remote hosts join by pointing ``repro-sim queue worker``
+at the same store path; nothing here assumes the workers are children of
+this process.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..api.executor import FailedResult, RunResult
+from ..api.specs import RunSpec
+from ..store.store import ExperimentStore, resolve_store
+from .queue import DEFAULT_LEASE_TIMEOUT, QueueError, WorkQueue, queue_names
+from .worker import work as _worker_entry
+
+__all__ = [
+    "CoordinatorError",
+    "SubmitReport",
+    "merge_collection",
+    "queue_status",
+    "run_distributed",
+    "spawn_local_workers",
+    "submit_grid",
+    "wait_for_completion",
+]
+
+
+class CoordinatorError(QueueError):
+    """A coordinator-level failure (stalled grid, merge of unsettled queue)."""
+
+
+@dataclass
+class SubmitReport:
+    """What :func:`submit_grid` found: grid size vs. warm-store coverage."""
+
+    name: str
+    total: int
+    cached: int
+    failed: int
+    queue: WorkQueue = field(repr=False)
+
+    @property
+    def enqueued(self) -> int:
+        """Cells actually left to execute (missing from store and quarantine)."""
+        return self.total - self.cached - self.failed
+
+    def summary_line(self) -> str:
+        """One human-readable line for logs and the CLI."""
+        return (
+            f"queue {self.name!r}: {self.total} cells "
+            f"({self.enqueued} to run, {self.cached} already in store"
+            + (f", {self.failed} quarantined" if self.failed else "")
+            + ")"
+        )
+
+
+def submit_grid(
+    store: Union[ExperimentStore, str, os.PathLike],
+    name: str,
+    specs: Sequence[RunSpec],
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    force: bool = False,
+) -> SubmitReport:
+    """Submit a RunSpec grid as a named work queue.
+
+    Warm store hits are *not* enqueued (they are already done by
+    definition of the content-addressed key), so submitting a grid whose
+    cells mostly exist costs one file write regardless of grid size.
+    Resubmitting an identical grid is idempotent -- the resume path.
+    """
+    store = resolve_store(store)
+    queue = WorkQueue.submit(store, name, specs, lease_timeout=lease_timeout, force=force)
+    counts = queue.counts()
+    return SubmitReport(
+        name=queue.name,
+        total=counts["total"],
+        cached=counts["done"],
+        failed=counts["failed"],
+        queue=queue,
+    )
+
+
+def queue_status(
+    store: Union[ExperimentStore, str, os.PathLike],
+    name: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Progress snapshot of one queue, or of every queue in the store.
+
+    With a ``name``: that queue's :meth:`~.queue.WorkQueue.counts` plus its
+    live/stale lease records and quarantine summaries.  Without: a mapping
+    of queue name to counts.
+    """
+    store = resolve_store(store)
+    if name is None:
+        return {
+            queue_name: WorkQueue(store, queue_name).counts()
+            for queue_name in queue_names(store)
+        }
+    queue = WorkQueue(store, name)
+    return {
+        "name": queue.name,
+        "counts": queue.counts(),
+        "leases": queue.leases(),
+        "failures": [failure.summary_line() for failure in queue.failures()],
+        "complete": queue.is_complete(),
+    }
+
+
+def spawn_local_workers(
+    store_path: Union[str, os.PathLike],
+    name: str,
+    count: int,
+    **worker_kwargs: Any,
+) -> List[Any]:
+    """Start ``count`` local worker processes against one queue.
+
+    Returns started :class:`multiprocessing.Process` objects (fork context
+    where available, matching the executor's pool).  The processes are
+    plain OS processes -- ``.pid`` is real and chaos tests may SIGKILL
+    them; the queue's stale-lease takeover is what makes that safe.
+    ``worker_kwargs`` are forwarded to :class:`~.worker.QueueWorker`.
+    """
+    from ..api.executor import _pool_context
+
+    context = _pool_context()
+    processes = []
+    for index in range(int(count)):
+        kwargs = dict(worker_kwargs)
+        kwargs.setdefault("worker_id", f"local-{index}-{os.getpid()}")
+        process = context.Process(
+            target=_worker_entry,
+            args=(os.fspath(store_path), name),
+            kwargs=kwargs,
+            daemon=False,
+            name=f"repro-worker-{index}",
+        )
+        process.start()
+        processes.append(process)
+    return processes
+
+
+def wait_for_completion(
+    store: Union[ExperimentStore, str, os.PathLike],
+    name: str,
+    poll_interval: float = 0.2,
+    timeout: Optional[float] = None,
+    workers: Optional[Sequence[Any]] = None,
+    respawn: int = 0,
+) -> Dict[str, int]:
+    """Block until every cell of a queue is settled; returns final counts.
+
+    When the coordinator owns local ``workers``, it also watches for the
+    stall where *all* of them are dead while cells remain unsettled --
+    the grid would otherwise wait forever on nobody.  Up to ``respawn``
+    replacement workers are started in that case (chaos recovery); past
+    the budget, :class:`CoordinatorError` is raised with the counts.
+    ``timeout`` bounds the whole wait in seconds.
+    """
+    store = resolve_store(store)
+    queue = WorkQueue(store, name)
+    store_path = os.fspath(store.root)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    workers = list(workers) if workers is not None else None
+    respawned = 0
+    while not queue.is_complete():
+        if deadline is not None and time.monotonic() >= deadline:
+            raise CoordinatorError(
+                f"queue {name!r} did not settle within {timeout}s: {queue.counts()}"
+            )
+        if workers is not None and workers and all(not p.is_alive() for p in workers):
+            if respawned >= respawn:
+                raise CoordinatorError(
+                    f"all workers of queue {name!r} exited with cells unsettled: "
+                    f"{queue.counts()}"
+                )
+            respawned += 1
+            workers.extend(spawn_local_workers(store_path, name, 1))
+        time.sleep(poll_interval)
+    if workers is not None:
+        for process in workers:
+            process.join(timeout=10.0)
+            if process.is_alive():  # drain stragglers polling an already-settled queue
+                os.kill(process.pid, signal.SIGTERM)
+                process.join(timeout=5.0)
+    return queue.counts()
+
+
+def merge_collection(
+    store: Union[ExperimentStore, str, os.PathLike],
+    name: str,
+    collection: Optional[str] = None,
+) -> List[Union[RunResult, FailedResult]]:
+    """Merge a settled queue into a named collection manifest.
+
+    Returns every cell's outcome in original grid order -- loaded from the
+    store, hence bit-identical (per :meth:`~repro.api.RunResult.payload`)
+    to serial :func:`~repro.api.run_grid` output no matter how many
+    workers computed the cells or how many times leases changed hands.
+    The manifest (default name ``queue-<name>``) records the grid-ordered
+    key list in its meta (collection manifests sort their key sets), the
+    quarantined keys, and the worker-visible cell count; it also marks the
+    entries live for :meth:`~repro.store.ExperimentStore.gc`.
+    """
+    store = resolve_store(store)
+    queue = WorkQueue(store, name)
+    results = queue.results()  # raises QueueError when unsettled
+    done_keys = [
+        key for key, result in zip(queue.keys, results) if not getattr(result, "failed", False)
+    ]
+    failed_keys = [key for key in queue.keys if key not in set(done_keys)]
+    store.write_manifest(
+        collection or f"queue-{name}",
+        sorted(set(done_keys)),
+        meta={
+            "queue": name,
+            "grid": list(queue.keys),
+            "failed": failed_keys,
+            "cells": len(queue.keys),
+        },
+    )
+    return results
+
+
+def run_distributed(
+    specs: Sequence[RunSpec],
+    store: Union[ExperimentStore, str, os.PathLike],
+    name: str,
+    workers: int = 2,
+    collection: Optional[str] = None,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    timeout: Optional[float] = None,
+    respawn: int = 0,
+    force: bool = False,
+    **worker_kwargs: Any,
+) -> List[Union[RunResult, FailedResult]]:
+    """Execute a grid on ``workers`` local processes; return merged results.
+
+    The one-call composition of :func:`submit_grid`,
+    :func:`spawn_local_workers`, :func:`wait_for_completion` and
+    :func:`merge_collection`.  With ``workers=0`` it only submits and
+    waits -- the cells must be drained by externally started workers
+    (e.g. ``repro-sim queue worker`` on other hosts).
+    """
+    store = resolve_store(store)
+    report = submit_grid(store, name, specs, lease_timeout=lease_timeout, force=force)
+    processes = (
+        spawn_local_workers(os.fspath(store.root), name, workers, **worker_kwargs)
+        if workers and report.enqueued
+        else []
+    )
+    try:
+        wait_for_completion(
+            store, name, timeout=timeout, workers=processes or None, respawn=respawn
+        )
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+    return merge_collection(store, name, collection=collection)

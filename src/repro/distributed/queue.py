@@ -1,0 +1,479 @@
+"""A crash-safe, file-based work queue living inside an experiment store.
+
+:class:`WorkQueue` shards one RunSpec grid across any number of independent
+OS processes (or hosts sharing a filesystem).  The queue is a directory
+under the store root::
+
+    <store>/queue/<name>/
+        grid.json          # the submitted grid: ordered specs + their keys
+        .lock              # FileLock serializing every state transition
+        leases/<key>.json  # one lease file per in-flight spec key
+        failed/<key>.json  # FailedResult quarantine records
+
+Cell state is *derived*, never duplicated: a cell is **done** when its key
+is in the store (the executor's commit is the only "done" write), **failed**
+when a quarantine record exists, **leased** while a live lease file exists,
+and **pending** otherwise.  Because the store commit is atomic and
+content-addressed, the worst a crashed worker can do is leave a stale lease
+-- re-execution of a committed key is a no-op and a cell can never be
+"half done".
+
+Correctness is specified assertionally (invariants over the on-disk state,
+not over interleavings):
+
+* **Exclusive leases** -- every lease file is created, rewritten and removed
+  under the queue's :class:`~repro.store.locking.FileLock`, so at most one
+  *fresh* lease exists per key.
+* **Stale-lease takeover** -- a lease whose heartbeat is older than the
+  queue's ``lease_timeout`` (or whose recorded PID is dead on this host) is
+  reclaimed by the next claimer; a ``kill -9``'d worker's cells therefore
+  re-enter the pool automatically.
+* **At-most-once results** -- duplicate execution (possible only in the
+  takeover race where the original worker is alive but slower than its
+  heartbeat) commits the same content-addressed key, so the merged grid
+  never contains a lost or doubled cell.
+* **Bounded retries** -- lease files count attempts across takeovers; a
+  claimer finding a cell abandoned more than its attempt budget quarantines
+  it as a ``worker-death`` :class:`~repro.api.FailedResult` instead of
+  claiming it again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .. import __version__
+from ..api.executor import FailedResult, RunResult
+from ..api.specs import RunSpec
+from ..store.hashing import spec_key
+from ..store.locking import FileLock, pid_alive
+from ..store.store import ExperimentStore, resolve_store
+
+__all__ = ["Claim", "QueueError", "WorkQueue", "queue_names"]
+
+#: Default seconds without a heartbeat after which a lease is stale.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+
+class QueueError(RuntimeError):
+    """A work-queue operation failed (missing queue, bad submit, torn state)."""
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One leased cell: what a worker holds while executing a spec.
+
+    ``attempts`` counts execution attempts across the cell's whole history
+    (in-lease retries *and* stale-lease takeovers), so the retry budget is
+    global, not per worker.  ``index`` is the cell's position in the
+    submitted grid (merge order).
+    """
+
+    key: str
+    index: int
+    spec: RunSpec
+    worker: str
+    attempts: int
+
+
+def _write_json_atomic(path: Path, data: Dict[str, Any]) -> None:
+    """Write JSON via a same-directory temp file + atomic rename."""
+    stage = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with open(stage, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(stage, path)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Read a JSON file; ``None`` when absent or torn (writer mid-replace)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def queue_names(store: Union[ExperimentStore, str, os.PathLike]) -> List[str]:
+    """Sorted names of all work queues inside a store."""
+    root = resolve_store(store).root / "queue"
+    if not root.is_dir():
+        return []
+    return sorted(item.name for item in root.iterdir() if (item / "grid.json").exists())
+
+
+class WorkQueue:
+    """One submitted RunSpec grid, shared by coordinator and workers.
+
+    Open an existing queue with ``WorkQueue(store, name)`` (raises
+    :class:`QueueError` naming the available queues when absent); create one
+    with :meth:`WorkQueue.submit`.  All state transitions (claim, complete,
+    fail, requeue) run under a per-queue cross-process
+    :class:`~repro.store.locking.FileLock`; reads (:meth:`counts`,
+    :meth:`leases`) are lock-free and rely on atomic lease-file replacement.
+    """
+
+    def __init__(self, store: Union[ExperimentStore, str, os.PathLike], name: str) -> None:
+        self.store = resolve_store(store)
+        self.name = str(name)
+        self.root = self.store.root / "queue" / self.name
+        grid_path = self.root / "grid.json"
+        if not grid_path.exists():
+            available = queue_names(self.store)
+            raise QueueError(
+                f"no work queue named {self.name!r} in store {self.store.root}; "
+                f"available: {', '.join(available) or '(none)'}"
+            )
+        grid = _read_json(grid_path)
+        if grid is None or "keys" not in grid or "specs" not in grid:
+            raise QueueError(f"work queue {self.name!r} has a damaged grid.json")
+        self.keys: List[str] = [str(key) for key in grid["keys"]]
+        self._spec_dicts: List[Dict[str, Any]] = list(grid["specs"])
+        self.lease_timeout = float(grid.get("lease_timeout", DEFAULT_LEASE_TIMEOUT))
+        self._lock = FileLock(self.root / ".lock")
+        self._leases_dir = self.root / "leases"
+        self._failed_dir = self.root / "failed"
+
+    # ------------------------------------------------------------------ #
+    # Creation.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def submit(
+        cls,
+        store: Union[ExperimentStore, str, os.PathLike],
+        name: str,
+        specs: Sequence[RunSpec],
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        force: bool = False,
+    ) -> "WorkQueue":
+        """Create (or idempotently re-open) the queue for a grid of specs.
+
+        Enqueueing is *declarative*: the grid is written once and pending
+        cells are derived by subtracting store hits, leases and quarantine
+        records -- so submitting against a warm store "enqueues" only the
+        missing keys, with no per-cell queue writes at all.  Resubmitting
+        the same name with the same grid re-opens the existing queue (the
+        resume path); a *different* grid under an existing name raises
+        unless ``force=True``, which discards the old queue state (never
+        the store entries).
+        """
+        store = resolve_store(store)
+        safe = str(name)
+        if not safe or any(sep in safe for sep in ("/", "\\", "..")):
+            raise QueueError(f"invalid queue name {safe!r}")
+        specs = list(specs)
+        if not specs:
+            raise QueueError("cannot submit an empty grid")
+        for spec in specs:
+            if not isinstance(spec, RunSpec):
+                raise QueueError(f"grid entries must be RunSpec instances, got {spec!r}")
+            if spec.dynamics is not None:
+                raise QueueError(
+                    f"spec for seed {spec.seed} carries a dynamics block; the work "
+                    f"queue executes static grids only (run_dynamic is per-trajectory)"
+                )
+        if float(lease_timeout) <= 0:
+            raise QueueError(f"lease_timeout must be positive (got {lease_timeout!r})")
+        keys = [spec_key(spec) for spec in specs]
+        root = store.root / "queue" / safe
+        grid_path = root / "grid.json"
+        if grid_path.exists():
+            existing = _read_json(grid_path)
+            if existing is not None and list(existing.get("keys", [])) == keys and not force:
+                return cls(store, safe)
+            if not force:
+                raise QueueError(
+                    f"work queue {safe!r} already exists with a different grid "
+                    f"({len(existing.get('keys', [])) if existing else '?'} cells); "
+                    f"pick another name or resubmit with force=True to replace it"
+                )
+            shutil.rmtree(root)
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "leases").mkdir(exist_ok=True)
+        (root / "failed").mkdir(exist_ok=True)
+        _write_json_atomic(
+            grid_path,
+            {
+                "name": safe,
+                "keys": keys,
+                "specs": [spec.to_dict() for spec in specs],
+                "lease_timeout": float(lease_timeout),
+                "created": time.time(),
+                "package": __version__,
+            },
+        )
+        return cls(store, safe)
+
+    # ------------------------------------------------------------------ #
+    # Derived state.
+    # ------------------------------------------------------------------ #
+
+    def spec_at(self, index: int) -> RunSpec:
+        """The grid spec at one position (rebuilt from the submitted grid)."""
+        return RunSpec.from_dict(self._spec_dicts[index])
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def _lease_path(self, key: str) -> Path:
+        return self._leases_dir / f"{key}.json"
+
+    def _failed_path(self, key: str) -> Path:
+        return self._failed_dir / f"{key}.json"
+
+    def _failed_keys(self) -> set:
+        return {path.stem for path in self._failed_dir.glob("*.json")}
+
+    def _lease_is_stale(self, lease: Dict[str, Any]) -> bool:
+        """Whether a lease's worker can be presumed dead (safe to take over)."""
+        age = time.time() - float(lease.get("heartbeat", 0.0))
+        if age >= self.lease_timeout:
+            return True
+        if lease.get("host") == socket.gethostname():
+            return not pid_alive(int(lease.get("pid", -1)))
+        return False
+
+    def leases(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of all current lease records, keyed by spec key.
+
+        Each record gains derived ``"age"`` (seconds since last heartbeat)
+        and ``"stale"`` fields.  Lock-free: lease files are replaced
+        atomically, so a snapshot never observes a torn record.
+        """
+        snapshot: Dict[str, Dict[str, Any]] = {}
+        for path in sorted(self._leases_dir.glob("*.json")):
+            lease = _read_json(path)
+            if lease is None:
+                continue
+            lease["age"] = time.time() - float(lease.get("heartbeat", 0.0))
+            lease["stale"] = self._lease_is_stale(lease)
+            snapshot[path.stem] = lease
+        return snapshot
+
+    def counts(self) -> Dict[str, int]:
+        """Per-state cell counts: total/done/failed/leased/stale/pending.
+
+        A committed cell counts as done even if its lease still lingers
+        (the lease is garbage the next claim pass skips); ``stale`` counts
+        reclaimable leases, a subset of neither ``leased`` nor ``pending``.
+        """
+        failed = self._failed_keys()
+        leases = self.leases()
+        done = leased = stale = pending = failed_count = 0
+        for key in self.keys:
+            if key in self.store:
+                done += 1
+            elif key in failed:
+                failed_count += 1
+            elif key in leases:
+                if leases[key]["stale"]:
+                    stale += 1
+                else:
+                    leased += 1
+            else:
+                pending += 1
+        return {
+            "total": len(self.keys),
+            "done": done,
+            "failed": failed_count,
+            "leased": leased,
+            "stale": stale,
+            "pending": pending,
+        }
+
+    def is_complete(self) -> bool:
+        """Whether every cell is settled (done in the store, or quarantined)."""
+        failed = self._failed_keys()
+        return all(key in failed or key in self.store for key in self.keys)
+
+    # ------------------------------------------------------------------ #
+    # State transitions (all under the queue lock).
+    # ------------------------------------------------------------------ #
+
+    def claim(self, worker: str, max_attempts: int = 3) -> Optional[Claim]:
+        """Lease the first claimable cell, in grid order; ``None`` when none.
+
+        Skips done (store hit) and quarantined cells, and cells under a
+        fresh lease.  A *stale* lease is taken over: the new lease's attempt
+        count continues from the abandoned one, and a cell already abandoned
+        ``max_attempts`` times is quarantined as a ``worker-death``
+        :class:`~repro.api.FailedResult` right here, so a cell that
+        reliably kills its executor cannot ping-pong between workers
+        forever.
+        """
+        with self._lock:
+            failed = self._failed_keys()
+            seen: set = set()
+            for index, key in enumerate(self.keys):
+                if key in seen:
+                    continue  # duplicate grid cell: one execution serves all
+                seen.add(key)
+                if key in failed or key in self.store:
+                    continue
+                attempts = 1
+                lease = _read_json(self._lease_path(key))
+                if lease is not None:
+                    if not self._lease_is_stale(lease):
+                        continue
+                    attempts = int(lease.get("attempts", 1)) + 1
+                    if attempts > max_attempts:
+                        spec = self.spec_at(index)
+                        self._quarantine(
+                            key,
+                            FailedResult(
+                                spec=spec,
+                                kind="worker-death",
+                                message=(
+                                    f"cell abandoned by {int(lease.get('attempts', 1))} dead "
+                                    f"worker(s), last {lease.get('worker', '?')} on "
+                                    f"{lease.get('host', '?')}; attempt budget of "
+                                    f"{max_attempts} exhausted"
+                                ),
+                                attempts=attempts - 1,
+                            ),
+                        )
+                        continue
+                now = time.time()
+                _write_json_atomic(
+                    self._lease_path(key),
+                    {
+                        "key": key,
+                        "worker": str(worker),
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                        "leased_at": now,
+                        "heartbeat": now,
+                        "attempts": attempts,
+                    },
+                )
+                return Claim(
+                    key=key, index=index, spec=self.spec_at(index),
+                    worker=str(worker), attempts=attempts,
+                )
+            return None
+
+    def heartbeat(self, claim: Claim, attempts: Optional[int] = None) -> bool:
+        """Refresh a held lease's heartbeat; returns whether it is still ours.
+
+        A lease that was taken over (this worker stalled past the timeout)
+        is left untouched and ``False`` is returned -- the cell now belongs
+        to someone else and this worker's eventual commit is harmlessly
+        idempotent.
+        """
+        with self._lock:
+            lease = _read_json(self._lease_path(claim.key))
+            if lease is None or lease.get("worker") != claim.worker:
+                return False
+            lease["heartbeat"] = time.time()
+            if attempts is not None:
+                lease["attempts"] = int(attempts)
+            _write_json_atomic(self._lease_path(claim.key), lease)
+            return True
+
+    def complete(self, claim: Claim) -> None:
+        """Drop the lease of a committed cell (the store entry *is* "done")."""
+        self._release_if_owned(claim)
+
+    def release(self, claim: Claim) -> None:
+        """Return a leased cell to the pending pool without a result."""
+        self._release_if_owned(claim)
+
+    def _release_if_owned(self, claim: Claim) -> None:
+        with self._lock:
+            lease = _read_json(self._lease_path(claim.key))
+            if lease is not None and lease.get("worker") == claim.worker:
+                try:
+                    os.unlink(self._lease_path(claim.key))
+                except OSError:
+                    pass
+
+    def fail(self, claim: Claim, failure: FailedResult) -> None:
+        """Quarantine a cell that exhausted its attempts, releasing its lease."""
+        with self._lock:
+            self._quarantine(claim.key, failure, worker=claim.worker)
+            lease = _read_json(self._lease_path(claim.key))
+            if lease is not None and lease.get("worker") == claim.worker:
+                try:
+                    os.unlink(self._lease_path(claim.key))
+                except OSError:
+                    pass
+
+    def _quarantine(self, key: str, failure: FailedResult, worker: Optional[str] = None) -> None:
+        record = failure.to_dict()
+        record["key"] = key
+        record["recorded"] = time.time()
+        if worker is not None:
+            record["worker"] = worker
+        _write_json_atomic(self._failed_path(key), record)
+
+    def requeue_failed(self) -> int:
+        """Clear all quarantine records so failed cells become pending again."""
+        with self._lock:
+            cleared = 0
+            for path in list(self._failed_dir.glob("*.json")):
+                try:
+                    path.unlink()
+                    cleared += 1
+                except OSError:
+                    pass
+            return cleared
+
+    # ------------------------------------------------------------------ #
+    # Results.
+    # ------------------------------------------------------------------ #
+
+    def failures(self) -> List[FailedResult]:
+        """The quarantine records, in grid order."""
+        failed = self._failed_keys()
+        results = []
+        for key in self.keys:
+            if key in failed:
+                record = _read_json(self._failed_path(key))
+                if record is not None:
+                    results.append(FailedResult.from_dict(record))
+        return results
+
+    def results(self) -> List[Union[RunResult, FailedResult]]:
+        """Every cell's outcome, in original grid order (the merge payload).
+
+        Done cells are loaded from the store (checksum-verified, marked
+        ``cached=True``; the deterministic :meth:`~repro.api.RunResult.payload`
+        is bit-identical to serial execution); quarantined cells come back
+        as :class:`~repro.api.FailedResult`.  Raises :class:`QueueError`
+        when any cell is still unsettled.
+        """
+        failed = self._failed_keys()
+        out: List[Union[RunResult, FailedResult]] = []
+        for index, key in enumerate(self.keys):
+            if key in failed:
+                record = _read_json(self._failed_path(key))
+                if record is None:
+                    raise QueueError(f"queue {self.name!r}: torn quarantine record for {key[:12]}...")
+                out.append(FailedResult.from_dict(record))
+                continue
+            result = self.store.load_result(key)
+            if result is None:
+                counts = self.counts()
+                raise QueueError(
+                    f"queue {self.name!r} is not complete: cell {index} "
+                    f"({key[:12]}...) is unsettled ({counts['pending']} pending, "
+                    f"{counts['leased']} leased, {counts['stale']} stale)"
+                )
+            out.append(result)
+        return out
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (
+            f"WorkQueue({self.name!r}, {counts['total']} cells: "
+            f"{counts['done']} done, {counts['failed']} failed, "
+            f"{counts['leased']} leased, {counts['pending']} pending)"
+        )

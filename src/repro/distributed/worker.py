@@ -1,0 +1,205 @@
+"""The distributed worker: a claim -> execute -> commit -> heartbeat loop.
+
+A :class:`QueueWorker` repeatedly leases cells from a :class:`~.queue.WorkQueue`
+and executes each through :func:`repro.api.run` with ``cache="reuse"`` against
+the shared store, so the store commit itself is the "done" transition.  While
+a cell executes, a daemon thread refreshes the lease heartbeat; if the worker
+is ``kill -9``'d, the heartbeat stops and the lease goes stale, letting any
+other worker reclaim the cell.
+
+Retries happen *inside* the lease: a raising cell is re-attempted with the
+executor's deterministic :func:`~repro.api.supervisor.backoff_delay` until the
+attempt budget is spent, then quarantined into the queue as a
+:class:`~repro.api.FailedResult` so the grid can still settle.  The fault
+harness's :func:`~repro.testing.faults.fire_if_planned` hook runs before every
+attempt, which is how chaos tests make specific cells raise, hang or hard-exit
+inside live distributed workers.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..api.executor import FailedResult, run
+from ..api.supervisor import backoff_delay
+from ..store.store import ExperimentStore, resolve_store
+from ..testing.faults import fire_if_planned
+from .queue import Claim, WorkQueue
+
+__all__ = ["QueueWorker", "WorkerReport"]
+
+
+@dataclass
+class WorkerReport:
+    """What one worker accomplished over a :meth:`QueueWorker.work` call."""
+
+    worker: str
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    elapsed: float = 0.0
+    keys: List[str] = field(default_factory=list)
+
+    def summary_line(self) -> str:
+        """One human-readable line for logs and the CLI."""
+        return (
+            f"worker {self.worker}: {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"in {self.elapsed:.2f}s"
+        )
+
+
+class _Heartbeat:
+    """Background lease refresher for the cell currently executing.
+
+    Beats every ``lease_timeout / 5`` seconds so a healthy worker's lease
+    never approaches staleness, and stops on its own after ``cell_timeout``
+    (when set) -- a wedged cell's lease then expires naturally and another
+    worker reclaims it, the distributed analogue of the serial executor's
+    per-cell timeout.
+    """
+
+    def __init__(self, queue: WorkQueue, claim: Claim, cell_timeout: Optional[float]) -> None:
+        self._queue = queue
+        self._claim = claim
+        self._deadline = None if cell_timeout is None else time.monotonic() + cell_timeout
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"heartbeat-{claim.key[:8]}", daemon=True
+        )
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _loop(self) -> None:
+        interval = max(0.05, self._queue.lease_timeout / 5.0)
+        while not self._stop.wait(interval):
+            if self._deadline is not None and time.monotonic() >= self._deadline:
+                return  # stop beating: let the lease go stale
+            try:
+                self._queue.heartbeat(self._claim, attempts=self._claim.attempts)
+            except Exception:
+                return  # a heartbeat must never take down the executing cell
+
+
+class QueueWorker:
+    """One worker process's view of a queue: loop until the grid settles.
+
+    Parameters mirror the serial executor where they overlap: ``retries``
+    is extra attempts per cell beyond the first, ``backoff`` the base of
+    the deterministic exponential retry delay.  ``poll_interval`` paces
+    re-checking a queue whose remaining cells are all leased elsewhere;
+    ``cell_timeout`` bounds a single cell by letting its lease expire (the
+    cell is then *re-executed elsewhere*, not cancelled locally).
+    ``max_cells`` bounds the loop for tests and benchmarks.
+    """
+
+    def __init__(
+        self,
+        store: Union[ExperimentStore, str, os.PathLike],
+        name: str,
+        worker_id: Optional[str] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        poll_interval: float = 0.2,
+        cell_timeout: Optional[float] = None,
+        max_cells: Optional[int] = None,
+        max_attempts: int = 3,
+    ) -> None:
+        self.store = resolve_store(store)
+        self.queue = WorkQueue(self.store, name)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.poll_interval = float(poll_interval)
+        self.cell_timeout = cell_timeout
+        self.max_cells = max_cells
+        self.max_attempts = int(max_attempts)
+
+    def work(self) -> WorkerReport:
+        """Claim and execute cells until the queue settles (or limits hit).
+
+        Returns a :class:`WorkerReport`.  The loop exits when the queue is
+        complete; while unsettled cells remain leased to *other* workers it
+        idles at ``poll_interval`` so it can take over should those leases
+        go stale.
+        """
+        report = WorkerReport(worker=self.worker_id)
+        started = time.perf_counter()
+        while True:
+            if self.max_cells is not None and len(report.keys) >= self.max_cells:
+                break
+            claim = self.queue.claim(self.worker_id, max_attempts=self.max_attempts)
+            if claim is None:
+                if self.queue.is_complete():
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            self._execute(claim, report)
+        report.elapsed = time.perf_counter() - started
+        return report
+
+    def _execute(self, claim: Claim, report: WorkerReport) -> None:
+        """Run one leased cell: in-lease retries, then commit or quarantine."""
+        report.keys.append(claim.key)
+        cell_started = time.perf_counter()
+        last_traceback = ""
+        # ``claim.attempts`` already counts takeovers of abandoned leases;
+        # the in-lease budget continues from there so the retry cap is
+        # global across the cell's whole history.
+        attempt = claim.attempts
+        with _Heartbeat(self.queue, claim, self.cell_timeout):
+            while True:
+                try:
+                    fire_if_planned(claim.spec, attempt)
+                    result = run(claim.spec, keep_raw=False, store=self.store, cache="reuse")
+                except Exception:
+                    last_traceback = traceback.format_exc()
+                    if attempt >= self.retries + 1 or attempt >= self.max_attempts:
+                        self.queue.fail(
+                            claim,
+                            FailedResult(
+                                spec=claim.spec,
+                                kind="exception",
+                                message=last_traceback,
+                                attempts=attempt,
+                                elapsed=time.perf_counter() - cell_started,
+                            ),
+                        )
+                        report.failed += 1
+                        return
+                    attempt += 1
+                    self.queue.heartbeat(claim, attempts=attempt)
+                    time.sleep(backoff_delay(self.backoff, attempt - 1, claim.spec.seed))
+                    continue
+                if result.cached:
+                    report.cached += 1
+                else:
+                    report.executed += 1
+                self.queue.complete(claim)
+                return
+
+
+def work(
+    store: Union[ExperimentStore, str, os.PathLike],
+    name: str,
+    **kwargs: object,
+) -> WorkerReport:
+    """Module-level convenience: build a :class:`QueueWorker` and run it.
+
+    This is the function :mod:`repro.distributed.coordinator` targets when
+    spawning local worker processes, so it must stay importable at module
+    top level (fork/spawn-safe).
+    """
+    return QueueWorker(store, name, **kwargs).work()

@@ -234,6 +234,25 @@ class ExperimentStore:
                 )
         return manifest
 
+    def verify_all(self) -> Dict[str, Any]:
+        """Re-checksum every entry; report damage without deleting anything.
+
+        The non-destructive audit counterpart of :meth:`gc` (which removes
+        what it finds broken): every key is pushed through :meth:`verify`
+        and failures are *collected*, not raised.  Returns ``{"checked",
+        "ok", "corrupt"}`` where ``corrupt`` maps each damaged key to its
+        :class:`StoreIntegrityError` message (which names the damaged file
+        and the recovery options).
+        """
+        corrupt: Dict[str, str] = {}
+        keys = self.keys()
+        for key in keys:
+            try:
+                self.verify(key)
+            except StoreIntegrityError as exc:
+                corrupt[key] = str(exc)
+        return {"checked": len(keys), "ok": len(keys) - len(corrupt), "corrupt": corrupt}
+
     # ------------------------------------------------------------------ #
     # Writing entries.
     # ------------------------------------------------------------------ #

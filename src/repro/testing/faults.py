@@ -66,6 +66,7 @@ __all__ = [
     "fire_if_planned",
     "injected_faults",
     "install",
+    "kill_worker_when_leased",
 ]
 
 #: The recognized fault kinds (see the module docstring for semantics).
@@ -257,6 +258,54 @@ def fire_if_planned(spec: Any, attempt: int = 1) -> None:
         return
     if fault.kind == "exit":
         os._exit(fault.exit_code)
+
+
+def kill_worker_when_leased(
+    queue: Any,
+    process: Any,
+    seed: Optional[int] = None,
+    timeout: float = 30.0,
+    poll_interval: float = 0.02,
+) -> str:
+    """SIGKILL a live distributed worker the moment it holds a lease.
+
+    The chaos primitive for :mod:`repro.distributed`: polls the queue's
+    lease snapshot until ``process`` (a started ``multiprocessing.Process``
+    or anything with ``.pid``) owns a lease -- optionally the lease of the
+    cell with placement seed ``seed`` -- then delivers ``SIGKILL`` (no
+    cleanup, no atexit: the lease is left behind exactly as a crashed host
+    would leave it) and returns the orphaned lease's spec key.  Raises
+    ``TimeoutError`` if the worker never claims a matching cell within
+    ``timeout`` seconds, so a mis-targeted chaos test fails loudly instead
+    of hanging.
+    """
+    import signal
+
+    pid = int(process.pid)
+    wanted_keys = None
+    if seed is not None:
+        wanted_keys = {
+            key
+            for index, key in enumerate(queue.keys)
+            if queue.spec_at(index).seed == int(seed)
+        }
+        if not wanted_keys:
+            raise ValueError(f"no cell of queue {queue.name!r} has placement seed {seed}")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for key, lease in queue.leases().items():
+            if int(lease.get("pid", -1)) != pid:
+                continue
+            if wanted_keys is not None and key not in wanted_keys:
+                continue
+            os.kill(pid, signal.SIGKILL)
+            process.join(timeout=10.0)
+            return key
+        time.sleep(poll_interval)
+    raise TimeoutError(
+        f"worker pid {pid} never held a matching lease of queue {queue.name!r} "
+        f"within {timeout}s"
+    )
 
 
 def corrupt_staged_entry(stage_dir: Path, spec: Any) -> bool:

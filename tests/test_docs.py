@@ -28,6 +28,7 @@ AUDITED = (
     sorted((REPO_ROOT / "src/repro/api").glob("*.py"))
     + sorted((REPO_ROOT / "src/repro/store").glob("*.py"))
     + sorted((REPO_ROOT / "src/repro/dynamics").glob("*.py"))
+    + sorted((REPO_ROOT / "src/repro/distributed").glob("*.py"))
     + [REPO_ROOT / "src/repro/sinr/network.py"]
 )
 

@@ -1,0 +1,277 @@
+"""Sweep-file compilation tests: expansion order, placeholders, validation.
+
+The load-bearing property (hypothesis-checked) is that compiling a sweep
+document yields *exactly* the grid the equivalent programmatic nested loop
+builds: same specs, same keys, same order.  That property is what makes the
+distributed merge bit-identical to a serial ``run_grid`` over a
+hand-written grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.distributed.sweepfile import (
+    SweepFileError,
+    compile_sweep,
+    load_sweep_file,
+    parse_seed_spec,
+)
+from repro.store import spec_key
+
+
+class TestParseSeedSpec:
+    def test_plain_int(self):
+        assert parse_seed_spec(7) == [7]
+
+    def test_comma_list(self):
+        assert parse_seed_spec("0, 1, 2") == [0, 1, 2]
+
+    def test_space_list(self):
+        assert parse_seed_spec("0 1 2") == [0, 1, 2]
+
+    def test_range(self):
+        assert parse_seed_spec("0:5") == [0, 1, 2, 3, 4]
+
+    def test_stepped_range(self):
+        assert parse_seed_spec("0:8:2") == [0, 2, 4, 6]
+
+    def test_mixed_tokens(self):
+        assert parse_seed_spec("9, 0:3, 42") == [9, 0, 1, 2, 42]
+
+    def test_list_of_ints_and_ranges(self):
+        assert parse_seed_spec([3, "0:2"]) == [3, 0, 1]
+
+    def test_negative_start(self):
+        assert parse_seed_spec("-2:2") == [-2, -1, 0, 1]
+
+    @pytest.mark.parametrize(
+        "bad", ["", "a", "0:", "1:2:3:4", "0:4:0", "5:5", None, 1.5, True]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SweepFileError):
+            parse_seed_spec(bad)
+
+
+def base_document(**extra):
+    doc = {
+        "name": "t",
+        "algorithm": {"name": "local-broadcast", "preset": "fast"},
+        "deployment": {"kind": "uniform", "params": {"nodes": 16, "area": 2.0}},
+        "seeds": 0,
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestExpansion:
+    def test_single_cell(self):
+        sweep = compile_sweep(base_document())
+        assert len(sweep) == 1
+        spec = sweep.specs[0]
+        assert spec.deployment.kind == "uniform"
+        assert spec.deployment.param_dict() == {"nodes": 16, "area": 2.0}
+        assert spec.seed == 0
+
+    def test_param_list_is_an_axis_and_seeds_vary_fastest(self):
+        doc = base_document(seeds="0:2")
+        doc["deployment"]["params"]["nodes"] = [16, 24]
+        sweep = compile_sweep(doc)
+        cells = [(s.deployment.param_dict()["nodes"], s.seed) for s in sweep.specs]
+        assert cells == [(16, 0), (16, 1), (24, 0), (24, 1)]
+        assert sweep.axis_summary() == "nodes(2) x seed(2)"
+
+    def test_matrix_varies_slowest_and_lands_in_tags(self):
+        doc = base_document(seeds="0:2", matrix={"backend": ["dense", "lazy"]})
+        doc["deployment"]["backend"] = "{backend}"
+        sweep = compile_sweep(doc)
+        cells = [(s.deployment.backend, s.seed) for s in sweep.specs]
+        assert cells == [("dense", 0), ("dense", 1), ("lazy", 0), ("lazy", 1)]
+        assert all(s.tag_dict()["backend"] == s.deployment.backend for s in sweep.specs)
+
+    def test_bare_placeholder_preserves_type(self):
+        doc = base_document(matrix={"n": [32]})
+        doc["deployment"]["params"]["nodes"] = "{n}"
+        spec = compile_sweep(doc).specs[0]
+        assert spec.deployment.param_dict()["nodes"] == 32
+        assert isinstance(spec.deployment.param_dict()["nodes"], int)
+
+    def test_embedded_placeholder_formats_to_string(self):
+        doc = base_document(tags={"label": "run-{seed}"}, seeds="0:2")
+        sweep = compile_sweep(doc)
+        assert [s.tag_dict()["label"] for s in sweep.specs] == ["run-0", "run-1"]
+
+    def test_wrapped_list_is_a_literal_not_an_axis(self):
+        doc = base_document()
+        doc["algorithm"]["params"] = {"weights": [[0.5, 1.0]]}
+        sweep = compile_sweep(doc)
+        assert len(sweep) == 1
+        assert sweep.specs[0].algorithm.param_dict()["weights"] == [0.5, 1.0]
+
+    def test_algorithm_params_and_overrides_sweep(self):
+        doc = base_document(seeds=0)
+        doc["deployment"] = {"kind": "strip", "params": {"hops": 4, "nodes_per_hop": 3}}
+        doc["algorithm"] = {"name": "global-broadcast", "params": {"source": [0, 1]}}
+        sweep = compile_sweep(doc)
+        assert [s.algorithm.param_dict()["source"] for s in sweep.specs] == [0, 1]
+
+
+class TestValidation:
+    def test_unknown_top_field_names_it(self):
+        with pytest.raises(SweepFileError, match="sweep.sedes"):
+            compile_sweep(base_document(sedes="0:2"))
+
+    def test_unknown_algorithm_lists_alternatives(self):
+        doc = base_document()
+        doc["algorithm"]["name"] = "nope"
+        with pytest.raises(SweepFileError, match="local-broadcast"):
+            compile_sweep(doc)
+
+    def test_unknown_preset_lists_alternatives(self):
+        doc = base_document()
+        doc["algorithm"]["preset"] = "warp"
+        with pytest.raises(SweepFileError, match="fast"):
+            compile_sweep(doc)
+
+    def test_unknown_deployment_lists_alternatives(self):
+        doc = base_document()
+        doc["deployment"]["kind"] = "blob"
+        with pytest.raises(SweepFileError, match="uniform"):
+            compile_sweep(doc)
+
+    def test_unknown_backend_lists_alternatives(self):
+        doc = base_document()
+        doc["deployment"]["backend"] = "gpu"
+        with pytest.raises(SweepFileError, match="dense"):
+            compile_sweep(doc)
+
+    def test_unknown_placeholder_lists_available(self):
+        doc = base_document(matrix={"n": [1]}, tags={"label": "{m}"})
+        with pytest.raises(SweepFileError, match=r"\{m\}.*available.*n"):
+            compile_sweep(doc)
+
+    def test_missing_algorithm_and_deployment(self):
+        with pytest.raises(SweepFileError, match="sweep.algorithm"):
+            compile_sweep({"deployment": {"kind": "uniform"}})
+        with pytest.raises(SweepFileError, match="sweep.deployment"):
+            compile_sweep({"algorithm": {"name": "cluster"}})
+
+    def test_empty_axis_rejected(self):
+        doc = base_document()
+        doc["deployment"]["params"]["nodes"] = []
+        with pytest.raises(SweepFileError, match="nodes"):
+            compile_sweep(doc)
+
+    def test_duplicate_axis_name_rejected(self):
+        doc = base_document(matrix={"nodes": [1, 2]})
+        doc["deployment"]["params"]["nodes"] = [16, 24]
+        with pytest.raises(SweepFileError, match="nodes"):
+            compile_sweep(doc)
+
+
+class TestLoadSweepFile:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(base_document()), encoding="utf-8")
+        sweep = load_sweep_file(path)
+        assert sweep.name == "t"
+        assert len(sweep) == 1
+
+    def test_default_name_is_the_stem(self, tmp_path):
+        doc = base_document()
+        del doc["name"]
+        path = tmp_path / "density.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert load_sweep_file(path).name == "density"
+
+    def test_yaml_round_trip(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "s.yaml"
+        path.write_text(yaml.safe_dump(base_document()), encoding="utf-8")
+        assert len(load_sweep_file(path)) == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SweepFileError, match="not found"):
+            load_sweep_file(tmp_path / "absent.json")
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text("x = 1", encoding="utf-8")
+        with pytest.raises(SweepFileError, match=".toml"):
+            load_sweep_file(path)
+
+    def test_bad_json_names_the_file(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(SweepFileError, match="s.json"):
+            load_sweep_file(path)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nodes=st.lists(st.integers(min_value=4, max_value=64), min_size=1, max_size=3, unique=True),
+    areas=st.lists(
+        st.floats(min_value=1.0, max_value=4.0, allow_nan=False), min_size=1, max_size=2, unique=True
+    ),
+    n_seeds=st.integers(min_value=1, max_value=4),
+)
+def test_expansion_equals_programmatic_grid(nodes, areas, n_seeds):
+    """Sweep-file expansion == the equivalent nested-loop RunSpec grid.
+
+    Same specs, same content-addressed keys, same (row-major) order --
+    matrix/params slowest to seeds fastest, exactly itertools.product.
+    """
+    doc = {
+        "algorithm": {"name": "local-broadcast", "preset": "fast"},
+        "deployment": {
+            "kind": "uniform",
+            "params": {"nodes": list(nodes), "area": list(areas)},
+        },
+        "seeds": f"0:{n_seeds}",
+    }
+    sweep = compile_sweep(doc)
+    programmatic = [
+        api.RunSpec(
+            deployment=api.DeploymentSpec(
+                "uniform", {"nodes": n, "area": a}, seed=seed, backend="dense"
+            ),
+            algorithm=api.AlgorithmSpec("local-broadcast", preset="fast"),
+        )
+        for n, a, seed in itertools.product(nodes, areas, range(n_seeds))
+    ]
+    assert list(sweep.specs) == programmatic
+    assert [spec_key(s) for s in sweep.specs] == [spec_key(s) for s in programmatic]
+
+
+class TestCliDryRun:
+    def test_dry_run_prints_grid_and_submits_nothing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "sweep.json"
+        doc = base_document(seeds="0:3")
+        doc["deployment"]["params"]["nodes"] = [16, 24]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        store_dir = tmp_path / "store"
+        code = main(
+            ["queue", "submit", "--sweep-file", str(path), "--dry-run", "--store", str(store_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6 cells" in out
+        assert "nodes(2) x seed(3)" in out
+        assert out.count("local-broadcast on uniform") == 6
+        assert "nothing submitted" in out
+        assert not store_dir.exists()  # dry run touches no disk
+
+    def test_cli_seeds_flag_accepts_ranges(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("0:4") == [0, 1, 2, 3]
+        assert _parse_seeds("0,1,2") == [0, 1, 2]
+        assert _parse_seeds("0:8:2") == [0, 2, 4, 6]
