@@ -1,0 +1,272 @@
+"""Service API load test: warm-cache throughput, streaming latency, backpressure.
+
+Measures the service tentpole's operational claims end to end over real
+HTTP connections (:class:`repro.testing.ServiceHarness` runs the asyncio
+server on a background thread; every client thread speaks HTTP/1.1 with
+keep-alive exactly as an external tool would):
+
+* ``identity`` -- before any timing is trusted, one served ``/run``
+  response is compared field-for-field against a direct
+  :func:`repro.api.run` of the same spec (everything but ``elapsed``);
+* ``warm`` -- 32 concurrent clients hammer one warm-cache spec; the
+  acceptance gate (both modes) is >= 200 requests/second sustained, with
+  p50/p99 latency recorded;
+* ``streaming`` -- one cold dynamic run over ``/run?stream``: wall-clock
+  to the *first* epoch line vs the whole trajectory (incremental delivery
+  means the first epoch lands well before the run finishes);
+* ``backpressure`` -- a deliberately tiny service (1 worker, queue of 1)
+  under a concurrent burst must shed load as 429s carrying Retry-After,
+  never by hanging or erroring differently.
+
+Measurements go to ``BENCH_service_api.json``.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service_api.py --quick
+    PYTHONPATH=src python benchmarks/bench_service_api.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import api
+from repro.service import ServiceConfig, ServiceError
+from repro.testing import ServiceHarness
+
+CONCURRENCY = 32
+REQUIRED_RATE = 200.0  # requests/second, warm cache, both modes
+
+
+def bench_spec() -> Dict:
+    """The static spec every warm-cache request asks for."""
+    return {
+        "deployment": {"kind": "uniform", "params": {"nodes": 24, "area": 2.0}, "seed": 3},
+        "algorithm": {"name": "local-broadcast", "preset": "fast"},
+        "tags": {"bench": "service-api"},
+    }
+
+
+def dynamic_spec() -> Dict:
+    """The dynamic spec for the streaming leg."""
+    spec = bench_spec()
+    spec["dynamics"] = {
+        "mobility": {"kind": "waypoint", "params": {"speed": 0.05}},
+        "epochs": 4,
+    }
+    return spec
+
+
+def assert_payload_identity(harness: ServiceHarness) -> None:
+    """Served /run response == direct api.run payload, or nothing is timed."""
+    client = harness.client()
+    try:
+        served = client.run(bench_spec())["result"]
+    finally:
+        client.close()
+    served.pop("elapsed")
+    direct = api.run(api.RunSpec.from_dict(bench_spec()), keep_raw=False)
+    expected = json.loads(json.dumps(direct.payload()))
+    assert served == expected, "served payload diverged from direct execution"
+
+
+def bench_warm(harness: ServiceHarness, requests_per_client: int) -> Dict:
+    """32 keep-alive clients hammer the warm entry; throughput + latency."""
+    latencies_by_client: List[List[float]] = [[] for _ in range(CONCURRENCY)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(CONCURRENCY + 1)
+
+    def client_loop(slot: int) -> None:
+        client = harness.client()
+        try:
+            client.health()  # connection + service warm before the clock starts
+            barrier.wait()
+            for _ in range(requests_per_client):
+                start = time.perf_counter()
+                response = client.run(bench_spec())
+                latencies_by_client[slot].append(time.perf_counter() - start)
+                if not response["cached"]:
+                    raise AssertionError("warm leg executed a cold run")
+        except BaseException as exc:  # noqa: BLE001 - reported by the main thread
+            errors.append(exc)
+            barrier.abort()
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(slot,)) for slot in range(CONCURRENCY)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - start
+    assert not errors, errors
+    latencies = sorted(lat for client in latencies_by_client for lat in client)
+    total = len(latencies)
+    assert total == CONCURRENCY * requests_per_client
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "concurrency": CONCURRENCY,
+        "requests": total,
+        "seconds": elapsed,
+        "rate_per_s": total / elapsed,
+        "p50_ms": quantiles[49] * 1e3,
+        "p99_ms": quantiles[98] * 1e3,
+        "max_ms": latencies[-1] * 1e3,
+    }
+
+
+def bench_streaming(harness: ServiceHarness) -> Dict:
+    """One cold dynamic run; first epoch must land well before the end."""
+    client = harness.client()
+    try:
+        start = time.perf_counter()
+        first_epoch = None
+        epochs = 0
+        for line in client.run_stream(dynamic_spec()):
+            if "epoch" in line:
+                epochs += 1
+                if first_epoch is None:
+                    first_epoch = time.perf_counter() - start
+        total = time.perf_counter() - start
+    finally:
+        client.close()
+    assert first_epoch is not None and epochs == 4
+    return {
+        "epochs": epochs,
+        "first_epoch_ms": first_epoch * 1e3,
+        "total_ms": total * 1e3,
+        "incremental": first_epoch < total,
+    }
+
+
+def bench_backpressure() -> Dict:
+    """A saturated 1-slot service sheds a burst as 429 + Retry-After."""
+    burst = 12
+    with ServiceHarness(ServiceConfig(port=0, max_workers=1, queue_limit=1)) as harness:
+        statuses: List[int] = []
+        retry_afters: List[float] = []
+        lock = threading.Lock()
+
+        def fire() -> None:
+            client = harness.client()
+            try:
+                client.run(bench_spec(), cache="off")
+                with lock:
+                    statuses.append(200)
+            except ServiceError as exc:
+                with lock:
+                    statuses.append(exc.status)
+                    if exc.retry_after is not None:
+                        retry_afters.append(exc.retry_after)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=fire) for _ in range(burst)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+    shed = statuses.count(429)
+    return {
+        "burst": burst,
+        "accepted": statuses.count(200),
+        "shed_429": shed,
+        "other_statuses": sorted(set(statuses) - {200, 429}),
+        "all_429s_carried_retry_after": len(retry_afters) == shed,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: a shorter warm-cache burst; the >= 200 req/s gate "
+        "still applies (the warm path serves from the in-memory cache, so "
+        "even shared CI runners clear it with margin)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service_api.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+    requests_per_client = 25 if args.quick else 150
+
+    root = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        config = ServiceConfig(
+            port=0, store=str(root / "store"),
+            max_workers=8, queue_limit=CONCURRENCY * 4,
+        )
+        with ServiceHarness(config) as harness:
+            print("== service API load test ==")
+            assert_payload_identity(harness)
+            print("  identity: served /run payload == direct api.run payload")
+
+            warm = bench_warm(harness, requests_per_client)
+            print(
+                f"  warm cache: {warm['requests']} requests @ c={CONCURRENCY} in "
+                f"{warm['seconds']:.2f}s -> {warm['rate_per_s']:7.1f} req/s | "
+                f"p50 {warm['p50_ms']:.2f} ms | p99 {warm['p99_ms']:.2f} ms"
+            )
+
+            streaming = bench_streaming(harness)
+            print(
+                f"  streaming: first epoch at {streaming['first_epoch_ms']:.1f} ms "
+                f"of {streaming['total_ms']:.1f} ms total"
+            )
+
+        backpressure = bench_backpressure()
+        print(
+            f"  backpressure: burst {backpressure['burst']} -> "
+            f"{backpressure['accepted']} accepted, {backpressure['shed_429']} shed "
+            f"as 429 (Retry-After on all: "
+            f"{backpressure['all_429s_carried_retry_after']})"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    checks = {
+        "rate": warm["rate_per_s"] >= REQUIRED_RATE,
+        "streaming_incremental": streaming["incremental"],
+        "backpressure_shed": backpressure["shed_429"] > 0,
+        "backpressure_retry_after": backpressure["all_429s_carried_retry_after"],
+        "backpressure_clean": not backpressure["other_statuses"],
+    }
+    ok = all(checks.values())
+    print(
+        f"\nacceptance: >= {REQUIRED_RATE:.0f} req/s warm @ c={CONCURRENCY}: "
+        f"{warm['rate_per_s']:.1f} -> {'PASS' if ok else 'FAIL'}"
+    )
+    if not ok:
+        print("  failed checks: " + ", ".join(k for k, v in checks.items() if not v))
+
+    record = {
+        "benchmark": "service_api",
+        "mode": "quick" if args.quick else "full",
+        "required_rate_per_s": REQUIRED_RATE,
+        "payload_identity": True,
+        "warm": warm,
+        "streaming": streaming,
+        "backpressure": backpressure,
+        "pass": bool(ok),
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

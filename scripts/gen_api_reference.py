@@ -54,6 +54,10 @@ MODULES = {
         "distributed.md",
         "Distributed sweep orchestration: work queue, workers, coordinator, sweep files.",
     ),
+    "repro.service": (
+        "service.md",
+        "Simulation-as-a-service: the asyncio HTTP server, sessions and the client.",
+    ),
     "repro.testing.faults": (
         "testing-faults.md",
         "Seeded fault injection: deterministic chaos plans for robustness tests.",

@@ -44,6 +44,7 @@ from .executor import (
     run_dynamic,
     run_grid,
     run_many,
+    run_on_network,
 )
 from .registry import (
     ALGORITHMS,
@@ -59,6 +60,7 @@ from .registry import (
     register_preset,
 )
 from .specs import AlgorithmSpec, DeploymentSpec, DynamicsSpec, MobilitySpec, RunSpec
+from .validation import SpecValidationError, spec_from_request, validate_spec
 
 # Populate the registries with the paper's deployments, algorithms,
 # baselines and mobility models (import side effect, must come after the
@@ -90,6 +92,7 @@ __all__ = [
     "RunResult",
     "RunSet",
     "RunSpec",
+    "SpecValidationError",
     "build_deployment",
     "register_algorithm",
     "register_deployment",
@@ -99,4 +102,7 @@ __all__ = [
     "run_dynamic",
     "run_grid",
     "run_many",
+    "run_on_network",
+    "spec_from_request",
+    "validate_spec",
 ]

@@ -69,6 +69,7 @@ __all__ = [
     "run_dynamic",
     "run_grid",
     "run_many",
+    "run_on_network",
 ]
 
 #: Valid ``on_error=`` policies for the grid entry points.
@@ -500,6 +501,75 @@ def _run_uncached(spec: RunSpec, keep_raw: bool = True) -> RunResult:
         elapsed=elapsed,
         raw=outcome.raw if keep_raw else None,
     )
+
+
+def run_on_network(network, spec: RunSpec, store=None, cache: str = "reuse") -> RunResult:
+    """Execute a static spec's algorithm against an *existing* network.
+
+    This is the session-execution primitive of the service layer
+    (:mod:`repro.service`): instead of materializing the spec's deployment,
+    the registered algorithm runs directly on ``network`` -- a live
+    :class:`~repro.sinr.network.WirelessNetwork` that may have been mutated
+    (moves, crashes, joins) since it was built.  Protocol state is reset
+    first, so repeated runs on the same placement are independent and
+    deterministic.
+
+    The caller is responsible for making ``spec`` *name* the network state
+    it hands in: when the network no longer matches the spec's deployment
+    block (it was mutated), derive a distinct spec -- e.g. with
+    :meth:`RunSpec.with_tags` carrying a state fingerprint -- before
+    enabling ``store=``, or stale placements would collide with fresh ones
+    under the same content address.  With that contract, ``store``/``cache``
+    behave exactly as in :func:`run`: warm hits load instead of executing
+    and are bit-identical to cold runs.
+
+    Standalone algorithms (which build their own network) and specs with a
+    dynamics block are refused: the former would ignore ``network``, the
+    latter describe a trajectory, not a single run.
+    """
+    if spec.dynamics is not None:
+        raise ValueError(
+            "spec has a dynamics block; run_on_network executes a single static "
+            "run on the live network (use run_dynamic for trajectories)"
+        )
+    entry = ALGORITHMS.get(spec.algorithm.name)
+    if entry.standalone:
+        raise ValueError(
+            f"algorithm {spec.algorithm.name!r} is standalone (builds its own "
+            "network) and cannot run against an existing one"
+        )
+    cache_store = _resolve_store(store, cache)
+    if cache_store is not None and cache == "reuse":
+        hit = cache_store.load_result(spec)
+        if hit is not None:
+            return hit
+    config = spec.algorithm.build_config()
+    params = spec.algorithm.param_dict()
+    network.reset_protocol_state()
+    sim = SINRSimulator(network)
+    started = time.perf_counter()
+    outcome = entry.fn(sim, config=config, **params)
+    elapsed = time.perf_counter() - started
+    if "total" not in outcome.rounds:
+        raise ValueError(f"algorithm {spec.algorithm.name!r} returned no 'total' rounds entry")
+    metrics = {key: float(value) for key, value in outcome.metrics.items()}
+    metrics.setdefault("n", float(network.size))
+    metrics.setdefault("delta_bound", float(network.delta_bound))
+    metrics.setdefault("id_space", float(network.id_space))
+    details = dict(outcome.details)
+    details.setdefault("network", network.describe())
+    result = RunResult(
+        spec=spec,
+        rounds=dict(outcome.rounds),
+        checks=dict(outcome.checks),
+        metrics=metrics,
+        details=_plain(details),
+        elapsed=elapsed,
+        raw=None,
+    )
+    if cache_store is not None:
+        cache_store.put_result(result, overwrite=(cache == "refresh"))
+    return result
 
 
 def run_dynamic(spec: RunSpec, store=None, cache: str = "reuse"):

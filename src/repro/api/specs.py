@@ -350,6 +350,16 @@ class RunSpec:
         """Copy of this spec with a different (or removed) dynamics block."""
         return replace(self, dynamics=dynamics)
 
+    def with_tags(self, tags: Optional[Mapping[str, Any]]) -> "RunSpec":
+        """Copy of this spec with the tag mapping replaced (``None`` clears it).
+
+        Tags participate in the spec's content address (:func:`repro.store.spec_key`),
+        so derived specs that must cache separately -- e.g. the service
+        tagging a session run with the session's state fingerprint -- get
+        distinct store entries without touching execution semantics.
+        """
+        return replace(self, tags=dict(tags) if tags else {})
+
     def tag_dict(self) -> Dict[str, Any]:
         """The tags as a plain dictionary."""
         return {key: _thaw(value) for key, value in self.tags}

@@ -571,6 +571,19 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
     store = _open_store(args)
     if store is None:
         return 2
+    if getattr(args, "json", False):
+        import json as _json
+
+        # Machine-readable twin of the text report below; the service's
+        # /stats endpoint serves the same queue_status() snapshot, so
+        # monitors can consume either interchangeably.
+        if args.name:
+            snapshot: Dict[str, Any] = queue_status(store, args.name)
+        else:
+            snapshot = {"queues": queue_status(store)}
+        snapshot["store"] = str(store.root)
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
     if not args.name:
         snapshot = queue_status(store)
         if not snapshot:
@@ -633,6 +646,41 @@ def _cmd_queue_resume(args: argparse.Namespace) -> int:
         for failure in failed:
             print(f"  {failure.summary_line()}", file=sys.stderr)
         return 3
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, SimulationService
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store=args.store or None,
+        cache=args.cache,
+        max_workers=args.workers,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_sessions=args.max_sessions,
+    )
+
+    async def serve() -> None:
+        service = SimulationService(config)
+        await service.start()
+        store_note = f"store {args.store}" if args.store else "no store (nothing persisted)"
+        print(f"simulation service listening on http://{args.host}:{service.port} ({store_note})")
+        print("endpoints: /health /stats /run /validate /sessions  -- Ctrl-C to stop")
+        try:
+            await asyncio.Event().wait()  # serve until interrupted
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("service stopped")
     return 0
 
 
@@ -918,6 +966,11 @@ def build_parser() -> argparse.ArgumentParser:
     queue_status_.add_argument(
         "--name", default=None, help="one queue in detail (default: summarize all)"
     )
+    queue_status_.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON instead of the text report (the same "
+        "snapshot the service's /stats endpoint serves)",
+    )
     _add_store_path_argument(queue_status_)
     queue_status_.set_defaults(handler=_cmd_queue_status)
 
@@ -943,6 +996,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_path_argument(queue_resume)
     queue_resume.set_defaults(handler=_cmd_queue_resume)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the simulation service: persistent sessions, cached runs, "
+        "streamed dynamic trajectories over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (default 8642; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--cache", choices=("reuse", "refresh", "off"), default="reuse",
+        help="store cache policy for service runs (default reuse)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads executing simulations (default 4)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="admitted requests beyond which the service sheds load with "
+        "429 + Retry-After (default 32)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-request execution budget (default: unbounded; "
+        "clients may override per request)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="default in-service retries before a request is quarantined "
+        "as a FailedResult (default 0)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64, metavar="N",
+        help="capacity of the named-session table (default 64)",
+    )
+    _add_store_path_argument(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

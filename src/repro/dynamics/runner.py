@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from ..api.specs import RunSpec
 from ..simulation import SINRSimulator
 from .events import ChurnProcess, EpochEvents, EventTimeline
 
-__all__ = ["EpochResult", "EpochSet", "run_epochs"]
+__all__ = ["EpochResult", "EpochSet", "iter_epochs", "run_epochs"]
 
 
 @dataclass(frozen=True)
@@ -268,7 +268,26 @@ def run_epochs(spec: RunSpec) -> EpochSet:
     The spec's ``dynamics`` field selects the mobility model (by MOBILITY
     registry key), the event process, the epoch count and the dynamics
     seed.  Standalone algorithms (which build their own network) cannot be
-    run dynamically.
+    run dynamically.  This is :func:`iter_epochs` drained to completion --
+    incremental consumers (the service's streaming endpoint) iterate the
+    generator directly and see each epoch the moment it is measured.
+    """
+    return EpochSet(spec=spec, results=list(iter_epochs(spec)))
+
+
+def iter_epochs(spec: RunSpec):
+    """Lazily execute a dynamic scenario, yielding one :class:`EpochResult` at a time.
+
+    The generator form of :func:`run_epochs`: epoch ``k`` is yielded as soon
+    as it has been simulated, *before* epoch ``k+1`` starts, so a consumer
+    can forward results incrementally (NDJSON streaming in
+    :mod:`repro.service`) while the trajectory is still running.  Epochs are
+    produced in order and the sequence is exactly what :func:`run_epochs`
+    would collect -- both drive the same seeded mobility/churn state, so
+    payloads are bit-identical.
+
+    Spec validation happens eagerly, in this call -- a bad spec raises
+    here, not at the consumer's first ``next()``.
     """
     dynamics = spec.dynamics
     if dynamics is None:
@@ -281,6 +300,12 @@ def run_epochs(spec: RunSpec) -> EpochSet:
             f"algorithm {spec.algorithm.name!r} is standalone (builds its own network) "
             "and cannot be run dynamically"
         )
+    return _generate_epochs(spec, entry)
+
+
+def _generate_epochs(spec: RunSpec, entry):
+    """The generator body of :func:`iter_epochs` (validation already done)."""
+    dynamics = spec.dynamics
     config = spec.algorithm.build_config()
     params = spec.algorithm.param_dict()
     network = build_deployment(spec.deployment)
@@ -290,7 +315,6 @@ def run_epochs(spec: RunSpec) -> EpochSet:
     timeline = _timeline_for(spec)
     timeline.reset(network, rng)
 
-    results: List[EpochResult] = []
     for epoch in range(dynamics.epochs):
         events = EpochEvents()
         moved = 0
@@ -314,14 +338,11 @@ def run_epochs(spec: RunSpec) -> EpochSet:
         metrics.setdefault("delta_bound", float(network.delta_bound))
         event_counts = events.counts()
         event_counts["moved"] = moved
-        results.append(
-            EpochResult(
-                epoch=epoch,
-                rounds=dict(outcome.rounds),
-                checks=dict(outcome.checks),
-                metrics=_plain(metrics),
-                events=event_counts,
-                elapsed=elapsed,
-            )
+        yield EpochResult(
+            epoch=epoch,
+            rounds=dict(outcome.rounds),
+            checks=dict(outcome.checks),
+            metrics=_plain(metrics),
+            events=event_counts,
+            elapsed=elapsed,
         )
-    return EpochSet(spec=spec, results=results)

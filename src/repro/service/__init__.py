@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: persistent sessions, cached runs, streamed epochs.
+
+This package turns the batch experiment API (:mod:`repro.api`) into a
+long-lived asyncio HTTP service:
+
+* :mod:`repro.service.app` -- the application: routes, bounded worker
+  pool, backpressure (429 + ``Retry-After``), per-request timeouts and
+  retries with the executor's :class:`~repro.api.FailedResult` vocabulary,
+  in-memory LRU over the experiment store;
+* :mod:`repro.service.sessions` -- named in-memory
+  :class:`~repro.sinr.network.WirelessNetwork` sessions with per-session
+  serialization locks, mutation logs and state fingerprints;
+* :mod:`repro.service.http` -- the stdlib asyncio HTTP/1.1 transport
+  (keep-alive + chunked NDJSON streaming; no third-party dependencies);
+* :mod:`repro.service.asgi` -- the adapter that hosts the same application
+  under uvicorn when the ``[service]`` extra is installed;
+* :mod:`repro.service.client` -- the blocking stdlib client the tests and
+  the load-test harness use.
+
+Quick start::
+
+    $ repro-sim serve --store results-store --port 8642
+
+    >>> from repro.service import ServiceClient
+    >>> client = ServiceClient(port=8642)
+    >>> client.health()["status"]
+    'ok'
+"""
+
+from .app import ServiceConfig, SimulationService
+from .asgi import create_asgi_app
+from .client import ServiceClient, ServiceError
+from .http import HttpError, Request, Response, StreamingResponse, json_response, run_server
+from .sessions import Session, SessionManager, SessionNotFound
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "Session",
+    "SessionManager",
+    "SessionNotFound",
+    "SimulationService",
+    "StreamingResponse",
+    "create_asgi_app",
+    "json_response",
+    "run_server",
+]

@@ -1,0 +1,124 @@
+"""ASGI adapter: run the simulation service under uvicorn (or any ASGI host).
+
+The application layer (:class:`~repro.service.app.SimulationService`) is a
+plain ``async handler(request)``; this module translates the ASGI protocol
+to that interface so the same service object can be hosted by a production
+ASGI server when one is installed (``pip install 'repro-sinr[service]'``)::
+
+    # asgi_app.py
+    from repro.service import ServiceConfig, SimulationService, create_asgi_app
+    app = create_asgi_app(SimulationService(ServiceConfig(store="results-store")))
+
+    $ uvicorn asgi_app:app --workers 1
+
+The adapter is pure protocol translation with zero third-party imports, so
+the test suite exercises it by calling the ASGI callable directly with
+scripted ``receive``/``send`` -- no uvicorn required.  Streaming responses
+map to ASGI's ``more_body`` chunking, preserving the NDJSON incrementality
+the stdlib transport provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+from urllib.parse import parse_qsl, unquote
+
+from .http import HttpError, Request, Response, StreamingResponse
+
+__all__ = ["create_asgi_app"]
+
+
+def _request_from_scope(scope: Dict[str, Any], body: bytes) -> Request:
+    """Build the service-layer request from an ASGI ``http`` scope."""
+    headers = {
+        name.decode("latin-1").lower(): value.decode("latin-1")
+        for name, value in scope.get("headers", [])
+    }
+    query = dict(parse_qsl(scope.get("query_string", b"").decode("latin-1"),
+                           keep_blank_values=True))
+    return Request(
+        method=str(scope.get("method", "GET")).upper(),
+        path=unquote(scope.get("path", "/")) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def _send_response(send: Callable[..., Any], response: Response) -> None:
+    headers = [(b"content-type", response.content_type.encode("latin-1"))]
+    for name, value in response.headers.items():
+        headers.append((name.lower().encode("latin-1"), str(value).encode("latin-1")))
+    await send({"type": "http.response.start", "status": response.status,
+                "headers": headers})
+    await send({"type": "http.response.body", "body": response.body})
+
+
+async def _send_streaming(send: Callable[..., Any], response: StreamingResponse) -> None:
+    headers = [(b"content-type", response.content_type.encode("latin-1"))]
+    for name, value in response.headers.items():
+        headers.append((name.lower().encode("latin-1"), str(value).encode("latin-1")))
+    await send({"type": "http.response.start", "status": response.status,
+                "headers": headers})
+    try:
+        async for chunk in response.chunks:
+            if chunk:
+                await send({"type": "http.response.body", "body": chunk,
+                            "more_body": True})
+        await send({"type": "http.response.body", "body": b""})
+    finally:
+        # Mirror the stdlib transport: a consumer that bails mid-stream
+        # must not leave the generator (and its counters) suspended.
+        aclose = getattr(response.chunks, "aclose", None)
+        if aclose is not None:
+            await aclose()
+
+
+def create_asgi_app(service: Any) -> Callable[..., Any]:
+    """Wrap a :class:`SimulationService` as an ASGI 3 application callable.
+
+    ``lifespan`` scopes are acknowledged (startup/shutdown complete
+    immediately -- the service holds no resources the ASGI host must wait
+    on; the host owns the listening socket).  ``http`` scopes drain the
+    request body, dispatch through ``service.handle`` and translate the
+    three response shapes (:class:`Response`, :class:`StreamingResponse`,
+    :class:`HttpError`) to ASGI events.
+    """
+
+    async def app(scope: Dict[str, Any], receive: Callable[..., Any],
+                  send: Callable[..., Any]) -> None:
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+            return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope type {scope['type']!r}")
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                return
+            body += message.get("body", b"")
+            if not message.get("more_body"):
+                break
+        request = _request_from_scope(scope, body)
+        try:
+            result = await service.handle(request)
+        except HttpError as exc:
+            await _send_response(send, exc.to_response())
+            return
+        except Exception as exc:  # noqa: BLE001 - the request must answer
+            error = HttpError(500, f"internal error: {type(exc).__name__}: {exc}")
+            await _send_response(send, error.to_response())
+            return
+        if isinstance(result, StreamingResponse):
+            await _send_streaming(send, result)
+        else:
+            await _send_response(send, result)
+
+    return app

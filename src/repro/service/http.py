@@ -1,0 +1,319 @@
+"""A minimal asyncio HTTP/1.1 server: the transport under the service layer.
+
+The container this project targets ships no third-party HTTP stack, so the
+service speaks HTTP/1.1 directly over :func:`asyncio.start_server` streams.
+The subset implemented is deliberately small but real:
+
+* request parsing (request line, headers, ``Content-Length`` bodies) with
+  hard size limits -- oversized headers/bodies are refused with 431/413,
+  malformed framing with 400, never an exception escaping the connection
+  handler;
+* keep-alive by default (HTTP/1.1 semantics; ``Connection: close`` and
+  HTTP/1.0 are honored), so load-test clients can reuse connections;
+* fixed-length JSON responses (:class:`Response`) and **chunked streaming**
+  responses (:class:`StreamingResponse`) fed by an async iterator -- the
+  transport under the service's NDJSON epoch streams;
+* :class:`HttpError` for handler-raised failures that should become clean
+  status responses (404, 405, 429 with ``Retry-After``, ...).
+
+The application above this module (:mod:`repro.service.app`) is a plain
+``async def handler(request) -> Response | StreamingResponse``; an
+alternative transport (the ASGI adapter in :mod:`repro.service.asgi`, run
+by uvicorn) can host the same application object, which is what keeps this
+hand-rolled server honest -- nothing in the app layer depends on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "StreamingResponse",
+    "json_response",
+    "run_server",
+]
+
+#: Hard framing limits (bytes): request line + headers, then body.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A handler failure that maps to a clean HTTP status response.
+
+    ``payload`` becomes the JSON error body (under ``{"error": ...}``);
+    ``headers`` lets backpressure attach ``Retry-After`` and method
+    dispatch attach ``Allow``.
+    """
+
+    def __init__(self, status: int, message: str, headers: Optional[Dict[str, str]] = None,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+        self.headers = dict(headers or {})
+        self.payload = payload
+
+    def to_response(self) -> "Response":
+        """The JSON error response this failure renders as."""
+        body: Dict[str, Any] = {"error": self.message, "status": self.status}
+        if self.payload:
+            body.update(self.payload)
+        return json_response(body, status=self.status, headers=self.headers)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """Decode the body as JSON; :class:`HttpError` 400 when malformed.
+
+        An empty body decodes to ``{}`` so argument-free POSTs stay
+        ergonomic (``curl -X POST .../sessions/x/run`` without ``-d``).
+        """
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+@dataclass
+class Response:
+    """A fixed-length response: status, JSON-or-bytes body, extra headers."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, keep_alive: bool) -> bytes:
+        """Serialize status line, headers and body to wire format."""
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + self.body
+
+
+@dataclass
+class StreamingResponse:
+    """A chunked-transfer response fed by an async iterator of byte chunks.
+
+    Each yielded chunk is flushed to the socket immediately (one chunked-
+    encoding frame per chunk), which is what makes NDJSON epoch streaming
+    *incremental*: the client owns bytes of epoch ``k`` while epoch ``k+1``
+    is still being simulated.  The connection closes after the stream ends
+    (simplest correct keep-alive story for long-lived streams).
+    """
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(data: Any, status: int = 200, headers: Optional[Dict[str, str]] = None) -> Response:
+    """Build a ``Response`` from a JSON-representable object (sorted keys)."""
+    body = json.dumps(data, sort_keys=True).encode("utf-8") + b"\n"
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+Handler = Callable[[Request], Awaitable[Any]]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Read one request off the wire; ``None`` on clean EOF between requests.
+
+    Raises :class:`HttpError` on framing violations (bad request line,
+    oversized headers or body) and ``asyncio.IncompleteReadError`` when the
+    peer disconnects mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests (keep-alive end)
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "request head exceeds the header size limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(431, "request head exceeds the header size limit")
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise HttpError(400, "malformed request line") from exc
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(400, "chunked request bodies are not supported; send Content-Length")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise HttpError(400, f"bad Content-Length {length_text!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit")
+    body = await reader.readexactly(length) if length else b""
+    headers["__version__"] = version
+    return method, target, headers, body
+
+
+def _parse_target(target: str) -> Tuple[str, Dict[str, str]]:
+    """Split a request target into a decoded path and a query mapping."""
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return unquote(parts.path) or "/", query
+
+
+async def _write_streaming(writer: asyncio.StreamWriter, response: StreamingResponse) -> None:
+    """Send a chunked-encoding response, flushing every chunk as it arrives."""
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    try:
+        await writer.drain()
+        async for chunk in response.chunks:
+            if not chunk:
+                continue
+            writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+    finally:
+        # A client that disconnects mid-stream leaves the chunk generator
+        # suspended; close it so its cleanup (stream counters, producer
+        # bookkeeping) runs now, not at some eventual garbage collection.
+        aclose = getattr(response.chunks, "aclose", None)
+        if aclose is not None:
+            await aclose()
+
+
+async def handle_connection(handler: Handler, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    """Serve one client connection: parse, dispatch, respond, keep alive.
+
+    Handler exceptions never tear the process down: :class:`HttpError`
+    renders as its status, anything else as a 500 naming the exception
+    type.  After a streaming response (or an error response) the
+    connection closes; otherwise it loops for the next pipelined request.
+    """
+    try:
+        while True:
+            keep_alive = False
+            try:
+                parsed = await _read_request(reader)
+                if parsed is None:
+                    return
+                method, target, headers, body = parsed
+                keep_alive = (
+                    headers.pop("__version__") == "HTTP/1.1"
+                    and headers.get("connection", "keep-alive").lower() != "close"
+                )
+                path, query = _parse_target(target)
+                request = Request(method=method.upper(), path=path, query=query,
+                                  headers=headers, body=body)
+                result = await handler(request)
+            except HttpError as exc:
+                writer.write(exc.to_response().encode(keep_alive=False))
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            except Exception as exc:  # noqa: BLE001 - the connection must answer
+                error = HttpError(500, f"internal error: {type(exc).__name__}: {exc}")
+                writer.write(error.to_response().encode(keep_alive=False))
+                await writer.drain()
+                return
+            if isinstance(result, StreamingResponse):
+                await _write_streaming(writer, result)
+                return
+            writer.write(result.encode(keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError):
+        return
+    except asyncio.CancelledError:
+        # Server shutdown with the connection parked between requests:
+        # close quietly instead of letting the cancellation escape into the
+        # stream protocol's completion callback.
+        return
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
+            pass
+
+
+async def run_server(handler: Handler, host: str = "127.0.0.1", port: int = 0):
+    """Start serving ``handler``; returns the listening ``asyncio.Server``.
+
+    ``port=0`` binds an ephemeral port -- read the real one off
+    ``server.sockets[0].getsockname()[1]`` (what the tests and the
+    benchmark harness do).  The read-buffer limit is raised to the header
+    cap so ``readuntil`` can always hold a maximal request head.
+    """
+    return await asyncio.start_server(
+        lambda r, w: handle_connection(handler, r, w),
+        host=host,
+        port=port,
+        limit=MAX_HEADER_BYTES,
+    )

@@ -27,6 +27,8 @@ bit-identical to cold execution (property-tested in
 
 from __future__ import annotations
 
+import ctypes
+import errno as _errno
 import hashlib
 import json
 import os
@@ -267,6 +269,13 @@ class ExperimentStore:
         runs under the store's cross-process lock, so two processes
         committing the same key cannot half-delete each other's entry and
         :meth:`gc` never observes a torn rename.
+
+        Overwrites (the ``cache="refresh"`` path) swap the staged directory
+        in *atomically* where the platform allows (``renameat2`` with
+        ``RENAME_EXCHANGE`` on Linux), because concurrent readers take no
+        lock: a reader racing a refresh must always resolve a complete
+        entry -- old or new -- and never a half-deleted one
+        (``tests/test_store_concurrency.py`` pins this).
         """
         entry_dir = self._entry_dir(key)
         if (entry_dir / "manifest.json").exists() and not overwrite:
@@ -305,7 +314,29 @@ class ExperimentStore:
                 if (entry_dir / "manifest.json").exists():
                     if not overwrite:
                         return key
-                    shutil.rmtree(entry_dir)
+                    # Refreshing a live entry: readers in *other* processes
+                    # do not hold this lock, so the old entry must never be
+                    # half-deleted under them.  Swap the staged directory in
+                    # atomically (renameat2 RENAME_EXCHANGE); the displaced
+                    # old entry lands on the stage path and the finally
+                    # block sweeps it.  Readers resolve the old complete
+                    # entry or the new complete one, never a torn husk.
+                    if _exchange_paths(stage, entry_dir):
+                        return key
+                    # Exchange unavailable (non-Linux kernel or filesystem):
+                    # rename the old entry aside, then rename the stage in.
+                    # The entry is briefly a clean miss, never partial; the
+                    # aside name embeds our PID so a concurrent gc keeps it
+                    # while we are alive.
+                    aside = self.root / "tmp" / f"{key}.displaced.{os.getpid()}"
+                    if aside.exists():
+                        shutil.rmtree(aside)
+                    os.replace(entry_dir, aside)
+                    try:
+                        os.replace(stage, entry_dir)
+                    finally:
+                        shutil.rmtree(aside, ignore_errors=True)
+                    return key
                 elif entry_dir.exists():
                     # Incomplete debris (interrupted write or removal): a
                     # fresh result is in hand, so replace the husk instead
@@ -376,16 +407,43 @@ class ExperimentStore:
     # Loading entries.
     # ------------------------------------------------------------------ #
 
+    def _with_refresh_retry(self, key: str, attempt):
+        """Run one load attempt, absorbing races with a concurrent refresh.
+
+        A refresh replaces the whole entry directory in one atomic rename,
+        but a *reader* makes several file reads (manifest, checksums,
+        payload) that can straddle that swap and mix old-manifest with
+        new-files -- a spurious :class:`StoreIntegrityError`.  Detect that
+        case by fingerprinting the manifest file's identity (inode, mtime,
+        size) before each attempt: if it changed by the time the attempt
+        failed, a refresh raced us and the retry sees a consistent entry.
+        Genuine corruption leaves the identity stable and re-raises at
+        once, so damaged entries still fail loudly.
+        """
+        for _ in range(4):
+            token = _entry_token(self._entry_dir(key))
+            try:
+                return attempt()
+            except StoreIntegrityError:
+                if _entry_token(self._entry_dir(key)) == token:
+                    raise
+        return attempt()
+
     def load_result(self, spec_or_key: Union[RunSpec, str]) -> Optional[RunResult]:
         """Load a static run by spec or key; ``None`` on a miss.
 
         The entry's checksums are verified first: a damaged entry raises
         :class:`StoreIntegrityError` instead of returning (or recomputing)
-        anything.  Loaded results carry ``cached=True``.
+        anything.  Loaded results carry ``cached=True``.  Reads are safe
+        against concurrent ``cache="refresh"`` writers: the entry resolves
+        to a complete artifact (old or new), never a torn one.
         """
         key = self.key_for(spec_or_key)
         if key not in self:
             return None
+        return self._with_refresh_retry(key, lambda: self._load_result_once(key))
+
+    def _load_result_once(self, key: str) -> RunResult:
         manifest = self.verify(key)
         if manifest["kind"] != "run":
             raise StoreError(
@@ -397,12 +455,19 @@ class ExperimentStore:
         return _mark_cached(result)
 
     def load_epochs(self, spec_or_key: Union[RunSpec, str]):
-        """Load a dynamic-run :class:`EpochSet` by spec or key; ``None`` on a miss."""
-        from ..dynamics.runner import EpochResult, EpochSet
+        """Load a dynamic-run :class:`EpochSet` by spec or key; ``None`` on a miss.
 
+        Same refresh-safety as :meth:`load_result`: racing a concurrent
+        overwrite yields a complete old or new artifact, never a torn one.
+        """
         key = self.key_for(spec_or_key)
         if key not in self:
             return None
+        return self._with_refresh_retry(key, lambda: self._load_epochs_once(key))
+
+    def _load_epochs_once(self, key: str):
+        from ..dynamics.runner import EpochResult, EpochSet
+
         manifest = self.verify(key)
         if manifest["kind"] != "epochs":
             raise StoreError(
@@ -613,6 +678,55 @@ def resolve_store(store: Union["ExperimentStore", str, os.PathLike, None]) -> Op
     if store is None or isinstance(store, ExperimentStore):
         return store
     return ExperimentStore(store)
+
+
+#: ``renameat2`` flag: atomically exchange the two paths (Linux >= 3.15).
+_RENAME_EXCHANGE = 2
+_AT_FDCWD = -100
+_LIBC: Optional[Any] = None
+
+
+def _exchange_paths(new: Path, old: Path) -> bool:
+    """Atomically swap two directories; ``False`` if the platform cannot.
+
+    Uses ``renameat2(..., RENAME_EXCHANGE)`` via libc on Linux: after the
+    call, ``old`` holds the staged content and ``new`` holds the displaced
+    entry, with no instant at which either path is absent or partial.
+    Returns ``False`` (caller falls back to rename-aside) when libc or the
+    filesystem lacks the syscall.
+    """
+    global _LIBC
+    if _LIBC is None:
+        try:
+            _LIBC = ctypes.CDLL(None, use_errno=True)
+        except (OSError, TypeError):
+            _LIBC = False
+    if not _LIBC or not hasattr(_LIBC, "renameat2"):
+        return False
+    rc = _LIBC.renameat2(
+        _AT_FDCWD, os.fsencode(new), _AT_FDCWD, os.fsencode(old), _RENAME_EXCHANGE
+    )
+    if rc == 0:
+        return True
+    code = ctypes.get_errno()
+    if code in (_errno.EINVAL, _errno.ENOSYS, _errno.ENOTSUP):
+        return False  # kernel or filesystem does not support the exchange
+    raise OSError(code, os.strerror(code), str(new), None, str(old))
+
+
+def _entry_token(entry_dir: Path) -> Optional[tuple]:
+    """Identity fingerprint of an entry's manifest file (``None`` if absent).
+
+    A refresh swaps in a different inode, so comparing tokens before and
+    after a failed read distinguishes "a concurrent refresh raced us"
+    (token changed -- retry) from genuine corruption (token stable --
+    raise).
+    """
+    try:
+        stat = os.stat(entry_dir / "manifest.json")
+    except OSError:
+        return None
+    return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
 
 
 def _stage_pid(name: str) -> Optional[int]:

@@ -11,6 +11,10 @@ has been installed:
   workers (or the store's staging path, for ``corrupt``) on exactly the
   chosen cells, so grid-robustness tests are bit-reproducible.
 
+* :mod:`repro.testing.service` -- :class:`ServiceHarness`, a thread-hosted
+  :class:`~repro.service.SimulationService` that blocking test and
+  benchmark code can drive with plain HTTP clients.
+
 See ``docs/guide/reliability.md`` for usage and ``tests/test_faults.py``
 for the stress suite that drives grids through every failure mode.
 """
@@ -26,12 +30,14 @@ from .faults import (
     injected_faults,
     install,
 )
+from .service import ServiceHarness
 
 __all__ = [
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "ServiceHarness",
     "active_plan",
     "clear",
     "fire_if_planned",

@@ -1,0 +1,103 @@
+"""A thread-hosted simulation service for blocking test and benchmark code.
+
+:class:`ServiceHarness` runs a :class:`~repro.service.SimulationService` on
+a dedicated background thread with its own event loop, so synchronous code
+(pytest tests, the ``bench_service_api.py`` load generator, notebooks) can
+drive it with plain blocking :class:`~repro.service.ServiceClient` calls::
+
+    with ServiceHarness(ServiceConfig(store=tmp_path / "store")) as harness:
+        client = harness.client()
+        client.run(spec_dict)
+
+The service binds an ephemeral port by default (``port=0``); ``.port`` is
+valid once ``start()``/``__enter__`` returns.  ``stop()`` shuts the service
+and the loop down and joins the thread -- safe to call twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+__all__ = ["ServiceHarness"]
+
+
+class ServiceHarness:
+    """Own a service + event loop on a background thread; blockingly usable.
+
+    ``config`` defaults to an ephemeral-port, store-less service; pass a
+    :class:`~repro.service.ServiceConfig` to attach a store or shrink the
+    worker pool (the backpressure tests run with ``max_workers=1,
+    queue_limit=1``).
+    """
+
+    def __init__(self, config: Optional[Any] = None) -> None:
+        from ..service import ServiceConfig, SimulationService
+
+        if config is None:
+            config = ServiceConfig(port=0)
+        self.service = SimulationService(config)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.service.stop())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def start(self) -> "ServiceHarness":
+        """Start the thread and block until the service is listening."""
+        self._thread = threading.Thread(target=self._main, name="service-harness", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("service did not come up within 30s")
+        return self
+
+    def stop(self) -> None:
+        """Stop the service, tear the loop down, join the thread (idempotent)."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        return self.service.port
+
+    def client(self, timeout: float = 60.0):
+        """A fresh blocking :class:`~repro.service.ServiceClient` for this service."""
+        from ..service import ServiceClient
+
+        return ServiceClient(self.service.config.host, self.port, timeout=timeout)

@@ -29,6 +29,7 @@ AUDITED = (
     + sorted((REPO_ROOT / "src/repro/store").glob("*.py"))
     + sorted((REPO_ROOT / "src/repro/dynamics").glob("*.py"))
     + sorted((REPO_ROOT / "src/repro/distributed").glob("*.py"))
+    + sorted((REPO_ROOT / "src/repro/service").glob("*.py"))
     + [REPO_ROOT / "src/repro/sinr/network.py"]
 )
 
