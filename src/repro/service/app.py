@@ -246,6 +246,36 @@ class SimulationService:
         except (asyncio.TimeoutError, TimeoutError):
             raise asyncio.TimeoutError from None
 
+    async def _offload_draining(self, fn: Callable[[], Any], timeout: Optional[float]) -> Any:
+        """Offload work whose thread must NEVER be abandoned (session ops).
+
+        Session jobs read and mutate a shared :class:`WirelessNetwork`
+        under the session lock, so the lock has to outlive the thread:
+        abandoning a timed-out thread (as :meth:`_offload` does for
+        stateless runs) would let it keep touching the network after the
+        lock is released -- racing later operations and caching results
+        under a fingerprint the state no longer matches.  Here a deadline
+        overrun keeps awaiting the *same* future until the thread actually
+        finishes, then raises :class:`asyncio.TimeoutError`.  Because the
+        lock was held throughout, any side effect the overrunning job
+        completed (e.g. a store write) still happened against unchanged
+        state and remains correctly addressed.
+        """
+        loop = asyncio.get_running_loop()
+        future = self._pool.submit(fn)
+        future.add_done_callback(lambda _f: self._release_threadsafe(loop))
+        wrapped = asyncio.wrap_future(future, loop=loop)
+        if timeout is None:
+            return await wrapped
+        done, _pending = await asyncio.wait([wrapped], timeout=timeout)
+        if done:
+            return await wrapped
+        try:
+            await wrapped  # drain: the thread is still using the network
+        except Exception:  # noqa: BLE001 - the request already timed out
+            pass
+        raise asyncio.TimeoutError
+
     def _release(self) -> None:
         self._pending = max(0, self._pending - 1)
 
@@ -262,7 +292,8 @@ class SimulationService:
             pass
 
     async def _execute_with_policy(
-        self, fn: Callable[[], Any], spec: RunSpec, timeout: Optional[float], retries: int
+        self, fn: Callable[[], Any], spec: RunSpec, timeout: Optional[float], retries: int,
+        drain: bool = False,
     ) -> Any:
         """Attempt ``fn`` under the executor's retry/backoff/quarantine policy.
 
@@ -272,13 +303,19 @@ class SimulationService:
         ``"exception"``, ``attempts`` counts every try, ``message`` carries
         the last traceback.  Backoff reuses the supervisor's deterministic
         seeded jitter.
+
+        ``drain=True`` routes attempts through :meth:`_offload_draining`
+        (session ops on shared network state): a timed-out attempt is fully
+        drained before the verdict -- and before any retry resubmits -- so
+        at most one job ever touches the network at a time.
         """
+        offload = self._offload_draining if drain else self._offload
         attempt = 1
         started = time.perf_counter()
         while True:
             self._admit()
             try:
-                return await self._offload(fn, timeout)
+                return await offload(fn, timeout)
             except asyncio.TimeoutError:
                 kind, message = "timeout", (
                     f"request exceeded its {timeout}s budget on attempt {attempt}"
@@ -466,8 +503,18 @@ class SimulationService:
     async def _dynamic_block(
         self, spec: RunSpec, cache: str, timeout: Optional[float], retries: int
     ) -> Response:
-        """Non-streaming dynamic run: the whole EpochSet JSON in one body."""
+        """Non-streaming dynamic run: the whole EpochSet JSON in one body.
+
+        The store probe happens up front (exactly like the streaming path)
+        so a warm hit is both served without occupying a worker thread and
+        reported honestly as ``"cached": true``.
+        """
         store = self._store if cache != "off" else None
+        if store is not None and cache == "reuse":
+            hit = store.load_epochs(spec)
+            if hit is not None:
+                self.counters["cache_hits_store"] += 1
+                return json_response({"trajectory": hit.to_dict(), "cached": True})
 
         def job() -> EpochSet:
             return api_executor.run_dynamic(spec, store=store, cache=cache)
@@ -525,11 +572,16 @@ class SimulationService:
 
         self._admit()
         self.counters["streams_total"] += 1
-        self.counters["streams_active"] += 1
         future = self._pool.submit(producer)
         future.add_done_callback(lambda _f: self._release_threadsafe(loop))
 
         async def chunks():
+            # The increment lives inside the generator, paired with the
+            # decrement in its finally: a client that disconnects before the
+            # response head is even flushed closes the generator *unstarted*,
+            # which skips finally blocks -- counting from out here would leak
+            # streams_active upward forever.
+            self.counters["streams_active"] += 1
             try:
                 header = {
                     "spec": spec.to_dict(),
@@ -558,7 +610,7 @@ class SimulationService:
 
     async def _get_sessions(self, request: Request) -> Response:
         """``GET /sessions``: summaries of every active session."""
-        return json_response({"sessions": self.sessions.describe_all()})
+        return json_response({"sessions": await self.sessions.describe_all_locked()})
 
     async def _post_sessions(self, request: Request) -> Response:
         """``POST /sessions``: create a named session from a DeploymentSpec."""
@@ -589,30 +641,36 @@ class SimulationService:
             raise HttpError(409, str(exc)) from exc
         except RuntimeError as exc:
             raise HttpError(503, str(exc)) from exc
-        return json_response(session.describe(), status=201)
+        async with session.lock:  # the name is published; another client may already be operating
+            created = session.describe()
+        return json_response(created, status=201)
 
     async def _get_session(self, request: Request, name: str) -> Response:
         """``GET /sessions/<name>``: state summary.
 
         ``?log=1`` appends the commit-ordered op history; ``?nodes=1``
         appends per-node detail (uid, position, awake) -- how clients
-        discover which uids exist before issuing a move.
+        discover which uids exist before issuing a move.  The read runs
+        under the session lock: a mutation executing concurrently on a
+        worker thread must never yield torn positions or a fingerprint
+        that matches neither the before- nor the after-state.
         """
         session = self.sessions.get(name)
-        data = session.describe()
-        if request.query.get("log") in ("1", "true", "yes"):
-            data["log"] = list(session.log)
-        if request.query.get("nodes") in ("1", "true", "yes"):
-            network = session.network
-            positions = network.positions
-            data["node_detail"] = [
-                {
-                    "uid": int(uid),
-                    "position": [float(positions[i, 0]), float(positions[i, 1])],
-                    "awake": bool(network.nodes[i].awake),
-                }
-                for i, uid in enumerate(network.uid_array.tolist())
-            ]
+        async with session.lock:
+            data = session.describe()
+            if request.query.get("log") in ("1", "true", "yes"):
+                data["log"] = list(session.log)
+            if request.query.get("nodes") in ("1", "true", "yes"):
+                network = session.network
+                positions = network.positions
+                data["node_detail"] = [
+                    {
+                        "uid": int(uid),
+                        "position": [float(positions[i, 0]), float(positions[i, 1])],
+                        "awake": bool(network.nodes[i].awake),
+                    }
+                    for i, uid in enumerate(network.uid_array.tolist())
+                ]
         return json_response(data)
 
     async def _delete_session(self, request: Request, name: str) -> Response:
@@ -664,7 +722,10 @@ class SimulationService:
                 def job() -> RunResult:
                     return api_executor.run_on_network(network, spec, store=store, cache=cache)
 
-                outcome = await self._execute_with_policy(job, spec, timeout, retries)
+                # drain=True: the job runs on the live session network, so a
+                # timed-out attempt must finish before the lock is released
+                # (or a retry resubmits) -- see _offload_draining.
+                outcome = await self._execute_with_policy(job, spec, timeout, retries, drain=True)
                 if isinstance(outcome, FailedResult):
                     return self._failure_response(outcome)
                 session.runs += 1
@@ -718,8 +779,12 @@ class SimulationService:
                     raise HttpError(
                         400, f"uids ({len(uids)}) and positions ({len(positions)}) differ in length"
                     )
+                try:
+                    requested = [int(u) for u in uids]
+                except (TypeError, ValueError):
+                    raise HttpError(400, f"uids must be integers; got {uids!r}") from None
                 known = set(int(u) for u in network.uid_array.tolist())
-                unknown = [u for u in uids if int(u) not in known]
+                unknown = [u for u in requested if u not in known]
                 if unknown:
                     raise HttpError(400, f"unknown uids: {unknown[:8]}")
 
@@ -757,9 +822,11 @@ class SimulationService:
                 detail = {"mobility": {"kind": str(kind), "params": dict(params)}, "seed": seed}
             self._admit()
             try:
-                moved = await self._offload(job, self.config.timeout)
-            except asyncio.TimeoutError:
-                raise HttpError(504, "mutation exceeded the service timeout") from None
+                # Mutations always run to completion: abandoning the thread
+                # on a deadline would leave it mutating the network after the
+                # lock is released, and a mutation that committed anyway must
+                # be recorded or the op log stops replaying to the live state.
+                moved = await self._offload_draining(job, None)
             except (TypeError, ValueError) as exc:
                 raise HttpError(400, f"mutation rejected: {exc}") from exc
             session.version += 1

@@ -242,8 +242,31 @@ class SessionManager:
                 self._sessions.pop(name, None)
 
     def describe_all(self) -> List[Dict[str, Any]]:
-        """Summaries of every session, sorted by name (``GET /sessions``)."""
+        """Summaries of every session, sorted by name.
+
+        Lock-free: only safe when no operation can be in flight (tests,
+        single-threaded tooling).  The service uses
+        :meth:`describe_all_locked`, which serializes each summary against
+        that session's operations.
+        """
         return [self._sessions[name].describe() for name in sorted(self._sessions)]
+
+    async def describe_all_locked(self) -> List[Dict[str, Any]]:
+        """Summaries of every session, each taken under its own lock.
+
+        Serializing each summary against the session's in-flight operation
+        keeps fingerprints consistent (never computed from a half-applied
+        mutation running on a worker thread); sessions deleted while the
+        listing is in progress are simply skipped.
+        """
+        summaries: List[Dict[str, Any]] = []
+        for name in sorted(self._sessions):
+            session = self._sessions.get(name)
+            if session is None:
+                continue
+            async with session.lock:
+                summaries.append(session.describe())
+        return summaries
 
     def names(self) -> List[str]:
         """Sorted names of the active sessions."""

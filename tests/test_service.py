@@ -302,6 +302,41 @@ class TestStreaming:
         blocked = client.run(dynamic_spec_dict(seed=34), stream=False)
         assert len(blocked["trajectory"]["epochs"]) == 3
 
+    def test_dynamic_block_reports_store_hit(self, client):
+        """The non-streaming path must report warm hits honestly, like the
+        streaming header does (regression: it always said cached=false)."""
+        spec = dynamic_spec_dict(seed=36)
+        cold = client.run(spec, stream=False)
+        warm = client.run(spec, stream=False)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert len(warm["trajectory"]["epochs"]) == 3
+
+    def test_unstarted_stream_generator_never_counts(self):
+        """A client gone before the response head flushes closes the chunk
+        generator *unstarted*, which skips finally blocks: the active-stream
+        counter must not tick up out-of-band and leak forever."""
+        import asyncio
+
+        from repro.api.validation import spec_from_request
+        from repro.service import SimulationService
+
+        service = SimulationService(ServiceConfig(port=0))
+
+        async def scenario():
+            spec = spec_from_request(dynamic_spec_dict(seed=37))
+            response = await service._stream_dynamic(spec, "off")
+            await response.chunks.aclose()  # closed before the first chunk
+            # Let the orphaned producer finish while the loop is still alive
+            # (its emits need the loop), then check the counter never moved.
+            await asyncio.get_running_loop().run_in_executor(
+                None, service._pool.shutdown, True
+            )
+
+        asyncio.run(scenario())
+        assert service.counters["streams_active"] == 0
+        assert service.counters["streams_total"] == 1
+
     def test_client_disconnect_mid_stream_releases_the_stream(self, harness, client):
         """Hanging up on a live stream must not leak ``streams_active``.
 

@@ -13,9 +13,11 @@ mutation-safety contract: concurrent clients observe results identical to
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
+from repro import api
 from repro.service import ServiceConfig, ServiceError
 from repro.service.sessions import replay_log
 from repro.testing import ServiceHarness
@@ -137,6 +139,8 @@ class TestSessionRuns:
             {"op": "teleport"},
             {"op": "move", "uids": [1, 2], "positions": [[0, 0]]},
             {"op": "move", "uids": [999999], "positions": [[0, 0]]},
+            {"op": "move", "uids": ["abc"], "positions": [[0, 0]]},
+            {"op": "move", "uids": [None], "positions": [[0, 0]]},
             {"op": "step", "mobility": {"params": {}}},
             {"op": "step", "mobility": {"kind": "warp"}},
         ]
@@ -159,6 +163,60 @@ class TestSessionRuns:
         assert [entry["op"] for entry in log] == ["run", "step", "run"]
         assert log[1]["version"] == 1  # the mutation bumped the version
         assert log[0]["fingerprint"] != log[2]["fingerprint"]
+
+
+class TestSessionTimeoutDraining:
+    """A timed-out session op must never abandon its worker thread.
+
+    Session jobs touch the shared live network under the session lock; the
+    regression being pinned: an abandoned thread kept running after the
+    lock was released, raced subsequent mutations, and stored its (now
+    stale-state) result under the pre-timeout fingerprint -- durably
+    poisoning the cache.  The fix drains the thread before answering, so
+    the 504 only goes out once nothing touches the network anymore, and
+    whatever the overrunning attempt stored is still correct for the
+    fingerprint it was tagged with.
+    """
+
+    def test_timed_out_session_run_drains_before_responding(self, tmp_path):
+        finished = threading.Event()
+
+        @api.register_algorithm("service-slow-broadcast")
+        def slow(sim, config, **params):
+            try:
+                time.sleep(0.4)
+                from repro.api.catalog import _run_local_broadcast
+
+                return _run_local_broadcast(sim, config)
+            finally:
+                finished.set()
+
+        algorithm = {"name": "service-slow-broadcast", "preset": "fast"}
+        try:
+            config = ServiceConfig(port=0, store=str(tmp_path / "store"))
+            with ServiceHarness(config) as harness:
+                c = harness.client()
+                c.create_session("drain", DEPLOYMENT)
+                with pytest.raises(ServiceError) as err:
+                    c.session_run("drain", algorithm, timeout=0.05)
+                assert err.value.status == 504
+                assert err.value.payload["failure"]["kind"] == "timeout"
+                # The lock outlived the thread: by the time the 504 was on
+                # the wire the worker had finished with the network.
+                assert finished.is_set()
+                # The drained attempt ran entirely against unchanged state,
+                # so the result it stored is *valid*: the same query warm-hits
+                # with exactly the digest a fresh execution produces.
+                fresh = c.session_run("drain", algorithm, cache="off")
+                warm = c.session_run("drain", algorithm)
+                assert warm["cached"] is True
+                assert warm["digest"] == fresh["digest"]
+                # And the timed-out attempt never committed to the op log.
+                ops = [e["op"] for e in c.session("drain", log=True)["log"]]
+                assert ops == ["run", "run"]
+                c.close()
+        finally:
+            api.ALGORITHMS._entries.pop("service-slow-broadcast", None)
 
 
 class TestSerialReplay:
