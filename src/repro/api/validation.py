@@ -90,6 +90,14 @@ def validate_spec(spec: RunSpec) -> List[str]:
         problem = _registry_problem("deployment.backend", spec.deployment.backend, BACKENDS, "physics backend")
         if problem is not None:
             problems.append(problem)
+        else:
+            rb = spec.deployment.backend_param_dict().get("round_batch")
+            if rb is not None and not (
+                rb == "auto" or (isinstance(rb, int) and not isinstance(rb, bool) and rb >= 1)
+            ):
+                problems.append(
+                    f"deployment.backend_params.round_batch: must be an int >= 1 or 'auto', got {rb!r}"
+                )
     if spec.dynamics is not None:
         if algorithm_entry is not None and algorithm_entry.standalone:
             problems.append(

@@ -231,6 +231,7 @@ class SINRSimulator:
         listeners: Optional[Iterable[int]] = None,
         phase: str = "",
         wake_on_reception: bool = False,
+        round_batch: Optional[object] = None,
     ) -> List[List[Tuple[int, int]]]:
         """Execute a precomputed sequence of transmitter sets as one batch.
 
@@ -264,6 +265,7 @@ class SINRSimulator:
             listeners=listeners,
             phase=phase,
             wake_on_reception=wake_on_reception,
+            round_batch=round_batch,
         )
         return deliveries.per_round_pairs()
 
@@ -275,6 +277,7 @@ class SINRSimulator:
         listeners: Optional[Iterable[int]] = None,
         phase: str = "",
         wake_on_reception: bool = False,
+        round_batch: Optional[object] = None,
     ) -> ScheduleDeliveries:
         """Execute a columnar transmitter table as one batch (the native path).
 
@@ -286,6 +289,11 @@ class SINRSimulator:
         :meth:`run_schedule`; the difference is purely representational --
         transmitter sets stay NumPy arrays end to end and the result is a
         columnar :class:`ScheduleDeliveries` table.
+
+        ``round_batch`` is forwarded to the physics backend as a
+        round-fusing performance hint (``int >= 1``, ``"auto"`` or ``None``
+        for the backend default); it never changes results and is ignored
+        by backends without a batched driver.
         """
         tx_round_ids = np.ascontiguousarray(tx_round_ids, dtype=np.int64)
         tx_uids = np.ascontiguousarray(tx_uids, dtype=np.int64)
@@ -304,7 +312,9 @@ class SINRSimulator:
             if not wake_on_reception:
                 rx_candidates = rx_candidates[self._awake[rx_candidates]]
 
-        table = network.physics.receptions_table(indptr, tx_indices, listeners=rx_candidates)
+        table = network.physics.receptions_table(
+            indptr, tx_indices, listeners=rx_candidates, round_batch=round_batch
+        )
 
         if wake_on_reception and len(table):
             asleep = np.unique(table.receivers[~self._awake[table.receivers]])

@@ -11,7 +11,14 @@ Three small numeric primitives dominate a spatial round evaluation:
 * :func:`resolve_strongest` -- per-listener total power, strongest gain and
   strongest-transmitter index over an exact ``(k, m)`` gain block (the
   fallback path for listeners whose accept/reject decision the tile bounds
-  cannot certify).
+  cannot certify);
+* :func:`segment_strongest` -- the ragged counterpart of
+  :func:`resolve_strongest`: per-segment total power, strongest gain and the
+  *flat index* of the first strongest pair over a flat, segment-major pair
+  list.  This is what the batched multi-round driver uses, where each
+  listener's exact-evaluation row count depends on its own round's
+  transmitter set; ties resolve to the lowest flat index, matching
+  ``np.argmax`` semantics on the block form.
 
 Each primitive has a pure-NumPy implementation and, when `numba
 <https://numba.pydata.org>`_ is importable, an ``@njit``-compiled fused-loop
@@ -34,7 +41,14 @@ import os
 
 import numpy as np
 
-__all__ = ["KERNEL_BACKEND", "dist_pow", "near_reduce", "pair_gains", "resolve_strongest"]
+__all__ = [
+    "KERNEL_BACKEND",
+    "dist_pow",
+    "near_reduce",
+    "pair_gains",
+    "resolve_strongest",
+    "segment_strongest",
+]
 
 
 # --------------------------------------------------------------------- #
@@ -91,6 +105,30 @@ def _resolve_strongest_numpy(block):
     return totals, best_gain, best_idx
 
 
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _segment_strongest_numpy(seg_idx, gains, num_segments):
+    """Per-segment (total, best gain, flat index of the first best pair).
+
+    ``seg_idx`` must be segment-major (non-decreasing) and ``gains``
+    strictly positive; both hold on every call site (pair lists are built
+    candidate-major and gains are clamped powers).  Totals accumulate in
+    flat input order (``np.bincount`` adds sequentially per bin), which is
+    what makes the batched and per-round drivers bit-identical; ties on the
+    maximum resolve to the lowest flat index, matching ``np.argmax`` over
+    the equivalent dense block.  Empty segments report (0, 0, 0).
+    """
+    totals = np.bincount(seg_idx, weights=gains, minlength=num_segments)
+    best_gain = np.zeros(num_segments, dtype=np.float64)
+    np.maximum.at(best_gain, seg_idx, gains)
+    hit = np.flatnonzero(gains == best_gain[seg_idx])
+    best_idx = np.full(num_segments, _INT64_MAX, dtype=np.int64)
+    np.minimum.at(best_idx, seg_idx[hit], hit)
+    best_idx[best_idx == _INT64_MAX] = 0
+    return totals, best_gain, best_idx
+
+
 # --------------------------------------------------------------------- #
 # Numba-compiled variants (selected when importable and not disabled).
 # --------------------------------------------------------------------- #
@@ -99,6 +137,7 @@ KERNEL_BACKEND = "numpy"
 pair_gains = _pair_gains_numpy
 near_reduce = _near_reduce_numpy
 resolve_strongest = _resolve_strongest_numpy
+segment_strongest = _segment_strongest_numpy
 
 if not os.environ.get("REPRO_NO_NUMBA"):
     try:
@@ -148,7 +187,25 @@ if not os.environ.get("REPRO_NO_NUMBA"):
                         best_idx[j] = i
             return totals, best_gain, best_idx
 
+        @njit(cache=True)
+        def _segment_strongest_nb(seg_idx, gains, num_segments):  # pragma: no cover
+            totals = np.zeros(num_segments, dtype=np.float64)
+            best_gain = np.zeros(num_segments, dtype=np.float64)
+            best_idx = np.zeros(num_segments, dtype=np.int64)
+            for i in range(seg_idx.size):
+                j = seg_idx[i]
+                g = gains[i]
+                totals[j] += g
+                # Strict > keeps the first maximal pair, matching the NumPy
+                # variant's lowest-flat-index tie break; sequential += keeps
+                # the totals bit-identical to np.bincount's per-bin order.
+                if g > best_gain[j]:
+                    best_gain[j] = g
+                    best_idx[j] = i
+            return totals, best_gain, best_idx
+
         KERNEL_BACKEND = "numba"
         pair_gains = _pair_gains_nb
         near_reduce = _near_reduce_nb
         resolve_strongest = _resolve_strongest_nb
+        segment_strongest = _segment_strongest_nb

@@ -328,6 +328,8 @@ class PhysicsBackend(ABC):
         tx_indptr: np.ndarray,
         tx_members: np.ndarray,
         listeners: Optional[Sequence[int]] = None,
+        *,
+        round_batch: Optional[object] = None,
     ) -> DeliveryTable:
         """Evaluate a whole CSR schedule of transmitter sets, columnarly.
 
@@ -340,10 +342,18 @@ class PhysicsBackend(ABC):
         chunked vectorized passes with no per-round Python containers, and
         the result is a single columnar :class:`DeliveryTable`.
 
+        ``round_batch`` is a performance hint -- how many consecutive rounds
+        a backend may fuse into one composite evaluation (an ``int >= 1``,
+        ``"auto"``, or ``None`` for the backend's configured default).  It
+        never changes results; backends without a batched driver (this
+        generic path, dense, lazy) accept and ignore it so callers can
+        thread the knob uniformly.
+
         Subclasses may override with a faster representation-specific path
         (see the dense backend's gemm/top-k implementation); the generic
         implementation only relies on :meth:`gain_block`.
         """
+        del round_batch  # accepted for signature uniformity; no batched driver here
         tx_indptr = np.ascontiguousarray(tx_indptr, dtype=np.int64)
         tx_members = np.ascontiguousarray(tx_members, dtype=np.int64)
         num_rounds = len(tx_indptr) - 1

@@ -341,6 +341,8 @@ class DenseMatrixBackend(PhysicsBackend):
         tx_indptr: np.ndarray,
         tx_members: np.ndarray,
         listeners: Optional[Sequence[int]] = None,
+        *,
+        round_batch: Optional[object] = None,
     ) -> DeliveryTable:
         """Columnar schedule evaluation specialized to the dense matrix.
 
@@ -359,6 +361,7 @@ class DenseMatrixBackend(PhysicsBackend):
         ulp (BLAS accumulation order), which is within the documented
         cross-backend tolerance.
         """
+        del round_batch  # perf hint for the spatial backend; dense batches via BLAS
         tx_indptr = np.ascontiguousarray(tx_indptr, dtype=np.int64)
         tx_members = np.ascontiguousarray(tx_members, dtype=np.int64)
         num_rounds = len(tx_indptr) - 1

@@ -39,6 +39,22 @@ strongest-transmitter resolution) run through the optional compiled kernels
 of :mod:`repro.sinr.backends._kernels` (Numba ``@njit`` when available,
 pure NumPy otherwise).
 
+**The batched round driver.**  A full algorithm execution issues ~10^5
+schedule rounds, and at 100k+ nodes each round's *physics* is cheap -- the
+cost floor is the fixed NumPy call overhead per round (argsort /
+searchsorted / unique on small arrays).  :meth:`receptions_table` therefore
+fuses up to ``round_batch`` consecutive CSR rounds into one composite-keyed
+evaluation (:meth:`_batch_core`): transmitters are keyed by ``round x
+tile``, candidates become unique ``(round, listener)`` pairs, and every
+stage -- the 3x3 join, the ring shells, the grouped far-field bound and the
+segmented exact fallback -- runs once per batch instead of once per round.
+The batched and per-round paths share the same grouped reduction helpers
+(sequential per-segment accumulation, chunked only at segment boundaries),
+which makes them **bit-identical**: fusing rounds changes neither events
+nor reported SINR values, and splitting a schedule at any round boundary is
+associative.  ``tests/test_backend_differential.py`` pins both properties
+across backends, schedule families, batch sizes and kernel variants.
+
 Soundness of the certificates (all bounds are cell-rectangle bounds, valid
 for any point positions inside the cells):
 
@@ -87,6 +103,16 @@ _CELLS_PER_NODE = 8
 #: by the far-field aggregation (chunked beyond this).
 _FAR_BLOCK_ELEMENTS = 4_000_000
 
+#: Target number of schedule entries (transmitter slots) per fused batch
+#: under ``round_batch="auto"``: enough to amortize the per-call NumPy
+#: floors, small enough that the composite join temporaries stay cache-warm.
+_AUTO_BATCH_TARGET = 4096
+
+#: Ceiling on the fused batch size (``"auto"`` never exceeds it; explicit
+#: integers may).  Keeps composite keys comfortably inside int64 and the
+#: per-batch candidate set bounded on sparse schedules.
+_MAX_ROUND_BATCH = 64
+
 
 def _csr_take(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenate ``arange(starts[i], starts[i] + counts[i])`` ranges."""
@@ -95,6 +121,19 @@ def _csr_take(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     offsets = np.cumsum(counts) - counts
     return np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+
+
+def _validate_round_batch(value: object) -> object:
+    """Normalize a ``round_batch`` knob value to ``"auto"`` or an int >= 1."""
+    if isinstance(value, str):
+        if value == "auto":
+            return "auto"
+        raise ValueError(f"round_batch must be an int >= 1 or 'auto', got {value!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"round_batch must be an int >= 1 or 'auto', got {value!r}")
+    if value < 1:
+        raise ValueError(f"round_batch must be an int >= 1 or 'auto', got {value!r}")
+    return int(value)
 
 
 class SpatialGridBackend(PhysicsBackend):
@@ -117,6 +156,14 @@ class SpatialGridBackend(PhysicsBackend):
         Number of exact near-field rings the certification loop expands
         through before falling back to exact summation (>= 1; default 2,
         i.e. a 5x5 exact block at the widest).
+    round_batch:
+        Default number of consecutive schedule rounds
+        :meth:`receptions_table` fuses into one composite-keyed evaluation:
+        an ``int >= 1`` or ``"auto"`` (the default), which sizes batches to
+        ~4096 schedule entries, capped at 64 rounds.  Purely a performance
+        knob -- results are bit-identical for every value (``1`` disables
+        fusing and runs the per-round core).  Individual
+        ``receptions_table`` calls may override it.
     """
 
     def __init__(
@@ -125,6 +172,7 @@ class SpatialGridBackend(PhysicsBackend):
         params: SINRParameters,
         cell_size: Optional[float] = None,
         max_ring: int = 2,
+        round_batch: object = "auto",
     ) -> None:
         super().__init__(params)
         positions = np.asarray(positions, dtype=float)
@@ -144,12 +192,19 @@ class SpatialGridBackend(PhysicsBackend):
         self._n = len(positions)
         self._base_cell = float(cell_size)
         self._max_ring = int(max_ring)
+        self._round_batch = _validate_round_batch(round_batch)
         # Grid state, built lazily (and invalidated by mutations that move
         # nodes outside the current bounding box).
         self._cell: float = 0.0
         self._origin: Optional[np.ndarray] = None
         self._shape: Optional[Tuple[int, int]] = None
         self._cell_of: Optional[np.ndarray] = None
+        # Bumped on every mutation of positions / cell assignments; guards
+        # the cached listener bucketing (see _bucket_listeners).
+        self._grid_version = 0
+        self._listener_cache: Optional[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = None
+        # Cumulative certification counters (across all queries since
+        # construction -- the existing observability contract).
         self._stats = {
             "rounds": 0,
             "listeners": 0,
@@ -159,6 +214,17 @@ class SpatialGridBackend(PhysicsBackend):
             "pruned_far": 0,
             "exact": 0,
             "near_pairs": 0,
+        }
+        # Batch-driver counters, reset at the start of every
+        # receptions_table call so they describe exactly the last run:
+        # rounds_fused + rounds_single + rounds_empty == num_rounds.
+        self._batch_stats = {
+            "round_batch": 0,
+            "batches": 0,
+            "rounds_fused": 0,
+            "rounds_single": 0,
+            "rounds_empty": 0,
+            "join_entries": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -202,17 +268,29 @@ class SpatialGridBackend(PhysicsBackend):
         gains[np.isinf(gains)] = COLOCATED_GAIN
         return gains
 
-    def grid_info(self) -> Dict[str, float]:
-        """Grid geometry and certification counters (benchmarks and tests)."""
+    def grid_info(self) -> Dict[str, object]:
+        """Grid geometry, certification counters and batch-driver counters.
+
+        Certification counters (``rounds`` .. ``near_pairs``) are cumulative
+        across the backend's lifetime; the batch counters (``round_batch``,
+        ``batches``, ``rounds_fused``, ``rounds_single``, ``rounds_empty``,
+        ``join_entries``) describe only the most recent
+        :meth:`receptions_table` call and satisfy ``rounds_fused +
+        rounds_single + rounds_empty == num_rounds`` for that call.
+        ``kernel_backend`` reports whether the compiled (``"numba"``) or
+        pure-NumPy kernels are dispatching.
+        """
         self._ensure_grid()
         ncx, ncy = self._shape  # type: ignore[misc]
-        info: Dict[str, float] = {
+        info: Dict[str, object] = {
             "cell_size": self._cell,
             "cells_x": ncx,
             "cells_y": ncy,
             "max_ring": self._max_ring,
+            "kernel_backend": _kernels.KERNEL_BACKEND,
         }
         info.update(self._stats)
+        info.update(self._batch_stats)
         return info
 
     # ------------------------------------------------------------------ #
@@ -241,6 +319,7 @@ class SpatialGridBackend(PhysicsBackend):
         ncy = int(span[1] / cell) + 1
         self._shape = (ncx, ncy)
         self._cell_of = self._cells_for(pos)
+        self._grid_version += 1
         # Per-tile-offset far-field contribution: gain at the farthest-corner
         # distance of a tile |di|, |dj| cells away.  One table per grid, so
         # the far bound is pure gathers (no transcendental per pair).
@@ -293,6 +372,7 @@ class SpatialGridBackend(PhysicsBackend):
         if not indices.size:
             return
         self._positions[indices] = new_xy
+        self._grid_version += 1
         if self._shape is None:
             return
         if self._in_bounds(new_xy):
@@ -307,6 +387,7 @@ class SpatialGridBackend(PhysicsBackend):
             return
         self._positions = np.vstack([self._positions, new_xy])
         self._n += len(new_xy)
+        self._grid_version += 1
         if self._shape is None:
             return
         if self._in_bounds(new_xy):
@@ -326,6 +407,7 @@ class SpatialGridBackend(PhysicsBackend):
             raise ValueError("cannot remove every node from a backend")
         self._positions = self._positions[keep]
         self._n = len(keep)
+        self._grid_version += 1
         if self._shape is not None:
             self._cell_of = self._cell_of[keep]
 
@@ -341,6 +423,7 @@ class SpatialGridBackend(PhysicsBackend):
         utiles: np.ndarray,
         tile_starts: np.ndarray,
         tile_counts: np.ndarray,
+        base_key: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(listener position, tx-sorted position) pairs for the given tile offsets.
 
@@ -351,6 +434,12 @@ class SpatialGridBackend(PhysicsBackend):
         the tile-sorted transmitter array) in one broadcast pass -- this
         runs tens of thousands of times per local-broadcast execution, so
         no Python loop over offsets.
+
+        When ``base_key`` is given (the batched driver), it is a
+        per-listener composite offset -- ``relative round x cell count`` --
+        added to each neighbour tile id, and ``utiles`` holds matching
+        composite ``(round, tile)`` keys: the same join then matches only
+        transmitter tiles of the listener's own round.
         """
         ncx, ncy = self._shape  # type: ignore[misc]
         tx_ = lcx[:, None] + offsets[:, 0][None, :]
@@ -360,6 +449,8 @@ class SpatialGridBackend(PhysicsBackend):
             np.arange(lcx.size, dtype=np.int64)[:, None], tx_.shape
         )[ok]
         tiles = tx_[ok] * ncy + ty_[ok]
+        if base_key is not None:
+            tiles = tiles + base_key[lidx]
         pos = np.minimum(np.searchsorted(utiles, tiles), utiles.size - 1)
         hit = utiles[pos] == tiles
         pos = pos[hit]
@@ -403,11 +494,11 @@ class SpatialGridBackend(PhysicsBackend):
 
     def _far_lower_bound(
         self,
-        lcx: np.ndarray,
-        lcy: np.ndarray,
+        ltile_keys: np.ndarray,
         ucx: np.ndarray,
         ucy: np.ndarray,
         tile_counts: np.ndarray,
+        round_tile_ptr: np.ndarray,
         ring: int,
     ) -> np.ndarray:
         """Certified lower bound on far-field interference, per listener.
@@ -417,57 +508,93 @@ class SpatialGridBackend(PhysicsBackend):
         the farthest-corner distance between the listener's cell and the
         tile -- valid wherever the individual nodes sit inside their cells.
 
-        The bound depends on the listener only through its *tile*, so it is
-        evaluated once per occupied listener tile (gathers from the
-        precomputed per-offset gain table) and broadcast back.
+        ``ltile_keys`` are composite ``relative round x cell count + tile``
+        keys per listener (plain tile ids in the single-round case, where
+        every relative round is 0); ``ucx``/``ucy``/``tile_counts`` describe
+        the occupied transmitter tiles in composite order and
+        ``round_tile_ptr`` is the CSR pointer from relative round to its
+        tile range.  The bound depends on the listener only through its
+        ``(round, tile)`` key, so it is evaluated once per unique key -- a
+        ragged (query x same-round tiles) join reduced with ``bincount``,
+        whose per-query accumulation order is the round's tile order
+        regardless of batching or chunk boundaries (chunks split only
+        between queries).  That order-stability is what keeps the batched
+        and per-round drivers bit-identical.
         """
-        tiles = lcx * np.int64(self._shape[1]) + lcy  # type: ignore[index]
-        uniq, inverse = np.unique(tiles, return_inverse=True)
-        qcx, qcy = np.divmod(uniq, np.int64(self._shape[1]))  # type: ignore[index]
+        ncx, ncy = self._shape  # type: ignore[misc]
+        ncells = np.int64(ncx) * np.int64(ncy)
+        uniq, inverse = np.unique(ltile_keys, return_inverse=True)
+        qround, qtile = np.divmod(uniq, ncells)
+        qcx, qcy = np.divmod(qtile, np.int64(ncy))
+        counts = round_tile_ptr[qround + 1] - round_tile_ptr[qround]
         q = uniq.size
-        t = ucx.size
         per_tile = np.zeros(q)
-        chunk = max(1, _FAR_BLOCK_ELEMENTS // max(1, t))
-        for start in range(0, q, chunk):
-            end = min(q, start + chunk)
-            di = np.abs(qcx[start:end, None] - ucx[None, :])
-            dj = np.abs(qcy[start:end, None] - ucy[None, :])
+        cum = np.cumsum(counts)
+        start = 0
+        while start < q:
+            base = int(cum[start - 1]) if start else 0
+            end = int(np.searchsorted(cum, base + _FAR_BLOCK_ELEMENTS, side="right"))
+            end = min(q, max(end, start + 1))
+            m = end - start
+            pq = np.repeat(np.arange(m, dtype=np.int64), counts[start:end])
+            pt = _csr_take(round_tile_ptr[qround[start:end]], counts[start:end])
+            di = np.abs(qcx[start:end][pq] - ucx[pt])
+            dj = np.abs(qcy[start:end][pq] - ucy[pt])
             far = (di > ring) | (dj > ring)
-            contrib = tile_counts * self._far_gain[di, dj]
-            per_tile[start:end] = np.where(far, contrib, 0.0).sum(axis=1)
+            contrib = np.where(far, tile_counts[pt] * self._far_gain[di, dj], 0.0)
+            per_tile[start:end] = np.bincount(pq, weights=contrib, minlength=m)
+            start = end
         return per_tile[inverse]
 
-    def _exact_eval(
-        self, tx: np.ndarray, rx_nodes: np.ndarray
+    def _exact_eval_segments(
+        self,
+        tx_pool: np.ndarray,
+        seg_starts: np.ndarray,
+        seg_counts: np.ndarray,
+        rx_nodes: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Exact (total power, best gain, best tx position) over the full tx set.
+        """Exact (total power, best gain, best sender node) per candidate.
 
-        Same arithmetic as :meth:`gain_block` + the strongest-resolution
-        kernel, but chunked over listeners so the pairwise temporaries stay
-        bounded (a single block at n=1M would be gigabytes).  ``tx`` and
-        ``rx_nodes`` must be disjoint (guaranteed by the round core's
-        half-duplex filtering), so no self-pair zeroing is needed.
+        Candidate ``i`` (listening at node ``rx_nodes[i]``) is evaluated
+        against the transmitter nodes ``tx_pool[seg_starts[i] :
+        seg_starts[i] + seg_counts[i]]`` -- its round's transmitters in
+        schedule order, so the strongest-tie break (first transmitter in
+        round order, via :func:`segment_strongest`) matches the dense
+        backend's ``argmax``.  Same gain arithmetic as :meth:`gain_block`;
+        transmitters and candidates are disjoint (half-duplex filtering
+        upstream), so no self-pair zeroing is needed.  Pair lists are
+        chunked only at candidate boundaries and each segment accumulates
+        sequentially, so results are independent of chunking and of how
+        candidates from different rounds are interleaved -- the batched and
+        per-round drivers agree bit for bit.
         """
-        k, u = tx.size, rx_nodes.size
+        u = rx_nodes.size
         totals = np.empty(u)
         best_gain = np.empty(u)
-        best_idx = np.empty(u, dtype=np.int64)
-        txy = self._positions[tx]
+        best_sender = np.empty(u, dtype=np.int64)
         power, alpha = self._params.power, self._params.alpha
-        chunk = max(1, _FAR_BLOCK_ELEMENTS // max(1, k))
-        for start in range(0, u, chunk):
-            end = min(u, start + chunk)
-            rxy = self._positions[rx_nodes[start:end]]
-            dx = txy[:, 0][:, None] - rxy[:, 0][None, :]
-            dy = txy[:, 1][:, None] - rxy[:, 1][None, :]
+        cum = np.cumsum(seg_counts)
+        start = 0
+        while start < u:
+            base = int(cum[start - 1]) if start else 0
+            end = int(np.searchsorted(cum, base + _FAR_BLOCK_ELEMENTS, side="right"))
+            end = min(u, max(end, start + 1))
+            m = end - start
+            pair_cand = np.repeat(np.arange(m, dtype=np.int64), seg_counts[start:end])
+            pair_pos = _csr_take(seg_starts[start:end], seg_counts[start:end])
+            txy = self._positions[tx_pool[pair_pos]]
+            rxy = self._positions[rx_nodes[start:end]][pair_cand]
+            dx = txy[:, 0] - rxy[:, 0]
+            dy = txy[:, 1] - rxy[:, 1]
             with np.errstate(divide="ignore"):
-                block = power / _kernels.dist_pow(dx * dx + dy * dy, alpha)
-            block[np.isinf(block)] = COLOCATED_GAIN
-            t, g, i = _kernels.resolve_strongest(block)
+                gains = power / _kernels.dist_pow(dx * dx + dy * dy, alpha)
+            gains[np.isinf(gains)] = COLOCATED_GAIN
+            t, g, i = _kernels.segment_strongest(pair_cand, gains, m)
             totals[start:end] = t
             best_gain[start:end] = g
-            best_idx[start:end] = i
-        return totals, best_gain, best_idx
+            best_sender[start:end] = tx_pool[pair_pos[i]]
+            start = end
+        return totals, best_gain, best_sender
 
     def _round_core(
         self,
@@ -476,6 +603,8 @@ class SpatialGridBackend(PhysicsBackend):
         rx_cells_sorted: np.ndarray,
         rx_local_sorted: np.ndarray,
         in_tx: Optional[np.ndarray] = None,
+        tx_sorted: Optional[np.ndarray] = None,
+        tcell_sorted: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """One round: certified pruning, ring expansion, exact fallback.
 
@@ -483,9 +612,13 @@ class SpatialGridBackend(PhysicsBackend):
         listener pool, pre-bucketed as ``rx_cells_sorted`` (its cell ids,
         sorted) and ``rx_local_sorted`` (the matching rx-local indices).
         ``in_tx``, when given, is a node-indexed mask excluding the round's
-        own transmitters (half-duplex) from the candidate set.  Returns the
-        accepted ``(rx-local receiver, sender, sinr)`` arrays sorted by
-        rx-local index -- the listener-array order the delivery table uses.
+        own transmitters (half-duplex) from the candidate set.
+        ``tx_sorted``/``tcell_sorted``, when given, are the round's
+        transmitters already stably sorted by cell id (the schedule driver
+        derives them from one per-schedule composite argsort instead of
+        paying the per-round argsort floor).  Returns the accepted
+        ``(rx-local receiver, sender, sinr)`` arrays sorted by rx-local
+        index -- the listener-array order the delivery table uses.
         """
         empty = (
             np.empty(0, dtype=np.int64),
@@ -500,11 +633,12 @@ class SpatialGridBackend(PhysicsBackend):
         stats["listeners"] += rx.size
         _, ncy = self._shape  # type: ignore[misc]
 
-        # Bucket the round's transmitters by tile.
-        tcell = self._cell_of[tx]
-        torder = np.argsort(tcell, kind="stable")
-        tx_sorted = tx[torder]
-        tcell_sorted = tcell[torder]
+        # Bucket the round's transmitters by tile (unless pre-sorted).
+        if tx_sorted is None or tcell_sorted is None:
+            tcell = self._cell_of[tx]
+            torder = np.argsort(tcell, kind="stable")
+            tx_sorted = tx[torder]
+            tcell_sorted = tcell[torder]
         cuts = np.flatnonzero(np.diff(tcell_sorted)) + 1
         tile_starts = np.concatenate([[0], cuts]).astype(np.int64)
         utiles = tcell_sorted[tile_starts]
@@ -586,7 +720,12 @@ class SpatialGridBackend(PhysicsBackend):
         # Far-field tile aggregation beyond the widest ring.
         if und.size:
             far_lo = self._far_lower_bound(
-                lcx[und], lcy[und], ucx, ucy, tile_counts, self._max_ring
+                cand_cells[und],
+                ucx,
+                ucy,
+                tile_counts,
+                np.array([0, utiles.size], dtype=np.int64),
+                self._max_ring,
             )
             ub = near_max[und] / (noise + (near_sum[und] - near_max[und]) + far_lo)
             keep = ub >= threshold
@@ -598,7 +737,12 @@ class SpatialGridBackend(PhysicsBackend):
         # Exact fallback: full-row evaluation for the rare undecidable
         # listener (and every actual receiver), with the dense formulas.
         stats["exact"] += und.size
-        totals, best_gain, best_idx = self._exact_eval(tx, rx[cand[und]])
+        totals, best_gain, best_sender = self._exact_eval_segments(
+            tx,
+            np.zeros(und.size, dtype=np.int64),
+            np.full(und.size, tx.size, dtype=np.int64),
+            rx[cand[und]],
+        )
         best_sinr = best_gain / (noise + (totals - best_gain))
         ok = np.flatnonzero(best_sinr >= threshold)
         if not ok.size:
@@ -607,7 +751,7 @@ class SpatialGridBackend(PhysicsBackend):
         order = np.argsort(receivers, kind="stable")
         return (
             receivers[order],
-            tx[best_idx[ok[order]]],
+            best_sender[ok[order]],
             best_sinr[ok[order]],
         )
 
@@ -616,10 +760,28 @@ class SpatialGridBackend(PhysicsBackend):
     # ------------------------------------------------------------------ #
 
     def _bucket_listeners(self, rx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Sort the listener pool by cell id: (sorted cells, matching rx-locals)."""
+        """Sort the listener pool by cell id: (sorted cells, matching rx-locals).
+
+        Algorithm runs issue many schedule evaluations over the *same*
+        listener pool, so the bucketing (an O(|rx| log |rx|) argsort) is
+        memoized for the last pool seen.  The cache key includes
+        ``_grid_version``, which every placement mutation bumps -- a moved
+        node lands in a fresh bucketing, never a stale one (unit-tested via
+        ``move_nodes``).
+        """
+        cached = self._listener_cache
+        if (
+            cached is not None
+            and cached[0] == self._grid_version
+            and cached[1].shape == rx.shape
+            and np.array_equal(cached[1], rx)
+        ):
+            return cached[2], cached[3]
         cells = self._cell_of[rx]
         order = np.argsort(cells, kind="stable")
-        return cells[order], order.astype(np.int64)
+        result = (cells[order], order.astype(np.int64))
+        self._listener_cache = (self._grid_version, rx.copy(), result[0], result[1])
+        return result
 
     def receptions(
         self,
@@ -651,49 +813,297 @@ class SpatialGridBackend(PhysicsBackend):
             for r, s, q in zip(recv, send, sinr)
         }
 
+    def _resolve_round_batch(
+        self, override: Optional[object], tx_indptr: np.ndarray, tx_members: np.ndarray
+    ) -> int:
+        """Concrete batch size for this run: the knob, or the auto heuristic.
+
+        ``"auto"`` targets ~``_AUTO_BATCH_TARGET`` schedule entries per
+        fused batch -- dense rounds batch little (physics already dominates),
+        sparse rounds (the TDMA/backoff regime where the per-round call
+        floor dominates) batch up to ``_MAX_ROUND_BATCH``.
+        """
+        value = self._round_batch if override is None else _validate_round_batch(override)
+        if value == "auto":
+            num_rounds = len(tx_indptr) - 1
+            if num_rounds <= 1:
+                return 1
+            avg = tx_members.size / num_rounds
+            return int(max(1, min(_MAX_ROUND_BATCH, _AUTO_BATCH_TARGET // max(1.0, avg))))
+        return int(value)
+
+    def _batch_core(
+        self,
+        t0: int,
+        t1: int,
+        tx_indptr: np.ndarray,
+        tx_members: np.ndarray,
+        btx: np.ndarray,
+        btcell: np.ndarray,
+        bround: np.ndarray,
+        rx: np.ndarray,
+        rx_cells_sorted: np.ndarray,
+        rx_local_sorted: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused evaluation of rounds ``[t0, t1)`` through one composite join.
+
+        ``btx``/``btcell``/``bround`` are the batch's transmitters, their
+        cell ids and their *relative* round ids, stably sorted by
+        ``(round, cell)`` -- slices of the per-schedule composite argsort.
+        Every stage of :meth:`_round_core` runs here exactly once for the
+        whole batch, keyed by ``relative round x cell count + tile`` so
+        rounds never mix; per-listener pair sequences, reduction orders and
+        chunk-boundary rules are identical to the per-round core, making
+        the fused results bit-identical to running rounds one at a time.
+        Returns ``(absolute round id, rx-local receiver, sender, sinr)``
+        arrays in round-major, receiver-sorted order.
+        """
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=float),
+        )
+        params = self._params
+        noise = params.noise
+        threshold = params.beta - NUMERIC_TOLERANCE
+        stats = self._stats
+        bstats = self._batch_stats
+        ncx, ncy = self._shape  # type: ignore[misc]
+        ncells = np.int64(ncx) * np.int64(ncy)
+        num_rel = t1 - t0
+
+        # Composite (round, tile) bucketing: tkey is already sorted because
+        # the batch slice is round-major and cell-sorted within each round.
+        tkey = bround * ncells + btcell
+        cuts = np.flatnonzero(np.diff(tkey)) + 1
+        tile_starts = np.concatenate([[0], cuts]).astype(np.int64)
+        utile_key = tkey[tile_starts]
+        tile_counts = np.diff(np.concatenate([tile_starts, [tkey.size]]))
+        uround, utile = np.divmod(utile_key, ncells)
+        ucx, ucy = np.divmod(utile, np.int64(ncy))
+        round_tile_ptr = np.searchsorted(
+            uround, np.arange(num_rel + 1, dtype=np.int64), side="left"
+        ).astype(np.int64)
+        nonempty = int(np.count_nonzero(round_tile_ptr[1:] > round_tile_ptr[:-1]))
+        stats["rounds"] += nonempty
+        stats["listeners"] += rx.size * nonempty
+
+        # Candidate (round, listener) pairs: unique composite neighbour
+        # tiles of the occupied transmitter tiles, joined against the
+        # cell-sorted listener pool.  Composite unique keys are round-major
+        # and tile-sorted within a round -- exactly the concatenation of the
+        # per-round candidate lists.
+        offs = self._block_arr(1)
+        nx_ = ucx[:, None] + offs[:, 0][None, :]
+        ny_ = ucy[:, None] + offs[:, 1][None, :]
+        ok = (nx_ >= 0) & (nx_ < ncx) & (ny_ >= 0) & (ny_ < ncy)
+        base = np.broadcast_to((uround * ncells)[:, None], nx_.shape)[ok]
+        cand_keys = np.unique(base + nx_[ok] * ncy + ny_[ok])
+        cround, ctile = np.divmod(cand_keys, ncells)
+        lo = np.searchsorted(rx_cells_sorted, ctile, side="left")
+        hi = np.searchsorted(rx_cells_sorted, ctile, side="right")
+        ccounts = hi - lo
+        cand_round = np.repeat(cround, ccounts)
+        cand = rx_local_sorted[_csr_take(lo, ccounts)]
+        if cand.size:
+            # Half-duplex: drop candidates transmitting in their own round,
+            # via a sorted composite (round, node) membership probe.
+            txnode_key = np.sort(bround * np.int64(self._n) + btx)
+            ckey = cand_round * np.int64(self._n) + rx[cand]
+            pos = np.minimum(np.searchsorted(txnode_key, ckey), txnode_key.size - 1)
+            keep_c = txnode_key[pos] != ckey
+            cand = cand[keep_c]
+            cand_round = cand_round[keep_c]
+        if not cand.size:
+            return empty
+        stats["candidates"] += cand.size
+
+        cand_cells = self._cell_of[rx[cand]]
+        lcx, lcy = np.divmod(cand_cells, np.int64(ncy))
+        cand_xy = self._positions[rx[cand]]
+        base_key = cand_round * ncells
+
+        # Ring 1: exact gains over each candidate's own-round 3x3 block.
+        pair_l, pair_t = self._tx_pairs(
+            lcx, lcy, offs, utile_key, tile_starts, tile_counts, base_key=base_key
+        )
+        stats["near_pairs"] += pair_l.size
+        bstats["join_entries"] += pair_l.size
+        gains = _kernels.pair_gains(
+            self._positions[btx[pair_t]], cand_xy[pair_l],
+            params.power, params.alpha, COLOCATED_GAIN,
+        )
+        near_sum, near_max = _kernels.near_reduce(pair_l, gains, cand.size)
+
+        # Certificate 1 (signal).
+        und = np.flatnonzero(near_max >= threshold * noise)
+        stats["pruned_signal"] += cand.size - und.size
+        if not und.size:
+            return empty
+
+        # Certificate 2 (near interference).
+        ub = near_max[und] / (noise + (near_sum[und] - near_max[und]))
+        keep = ub >= threshold
+        stats["pruned_near"] += und.size - int(keep.sum())
+        und = und[keep]
+
+        # Ring expansion, shell by shell.
+        for ring in range(2, self._max_ring + 1):
+            if not und.size:
+                break
+            shell_l, shell_t = self._tx_pairs(
+                lcx[und], lcy[und], self._shell_arr(ring),
+                utile_key, tile_starts, tile_counts, base_key=base_key[und],
+            )
+            if shell_l.size:
+                stats["near_pairs"] += shell_l.size
+                bstats["join_entries"] += shell_l.size
+                shell_gains = _kernels.pair_gains(
+                    self._positions[btx[shell_t]], cand_xy[und][shell_l],
+                    params.power, params.alpha, COLOCATED_GAIN,
+                )
+                shell_sum, _ = _kernels.near_reduce(shell_l, shell_gains, und.size)
+                near_sum[und] += shell_sum
+            ub = near_max[und] / (noise + (near_sum[und] - near_max[und]))
+            keep = ub >= threshold
+            stats["pruned_near"] += und.size - int(keep.sum())
+            und = und[keep]
+
+        # Far-field tile aggregation beyond the widest ring, grouped per
+        # (round, listener tile).
+        if und.size:
+            far_lo = self._far_lower_bound(
+                base_key[und] + cand_cells[und],
+                ucx, ucy, tile_counts, round_tile_ptr, self._max_ring,
+            )
+            ub = near_max[und] / (noise + (near_sum[und] - near_max[und]) + far_lo)
+            keep = ub >= threshold
+            stats["pruned_far"] += und.size - int(keep.sum())
+            und = und[keep]
+        if not und.size:
+            return empty
+
+        # Segmented exact fallback: each survivor against its own round's
+        # transmitters in schedule order.
+        stats["exact"] += und.size
+        abs_round = cand_round[und] + t0
+        seg_starts = tx_indptr[abs_round]
+        seg_counts = tx_indptr[abs_round + 1] - seg_starts
+        totals, best_gain, best_sender = self._exact_eval_segments(
+            tx_members, seg_starts, seg_counts, rx[cand[und]]
+        )
+        best_sinr = best_gain / (noise + (totals - best_gain))
+        ok_s = np.flatnonzero(best_sinr >= threshold)
+        if not ok_s.size:
+            return empty
+        sel = und[ok_s]
+        recv = cand[sel]
+        order = np.argsort(cand_round[sel] * np.int64(rx.size) + recv, kind="stable")
+        return (
+            cand_round[sel[order]] + t0,
+            recv[order],
+            best_sender[ok_s[order]],
+            best_sinr[ok_s[order]],
+        )
+
     def receptions_table(
         self,
         tx_indptr: np.ndarray,
         tx_members: np.ndarray,
         listeners: Optional[Sequence[int]] = None,
+        *,
+        round_batch: Optional[object] = None,
     ) -> DeliveryTable:
         """Columnar schedule evaluation through the spatial round core.
 
-        The listener pool is bucketed once per call; each round then costs
-        O(active area) -- transmitter tiles, their adjacent listeners and
-        the few exact fallbacks -- independent of the deployment size.
-        Semantically identical to the generic chunked path (property-tested
-        against the dense backend).
+        The listener pool is bucketed once per call and the transmitter
+        table is tile-sorted once with a single composite ``(round, cell)``
+        argsort; consecutive rounds are then fused ``round_batch`` at a time
+        through :meth:`_batch_core` (or evaluated one by one through
+        :meth:`_round_core` when the resolved batch size is 1).  Results
+        are bit-identical for every batch size -- fusing only amortizes the
+        per-round NumPy call floors.  ``round_batch`` overrides the
+        backend's configured default for this call (``int >= 1`` or
+        ``"auto"``); :meth:`grid_info` reports the resolved size and the
+        per-run fuse counters.  Semantically identical to the generic
+        chunked path (property-tested against the dense backend).
         """
         tx_indptr = np.ascontiguousarray(tx_indptr, dtype=np.int64)
         tx_members = np.ascontiguousarray(tx_members, dtype=np.int64)
         num_rounds = len(tx_indptr) - 1
         rx = self._normalize_listeners(listeners)
+        batch = self._resolve_round_batch(round_batch, tx_indptr, tx_members)
+        bstats = self._batch_stats
+        for key in bstats:
+            bstats[key] = 0
+        bstats["round_batch"] = batch
         if rx.size == 0 or num_rounds == 0 or len(tx_members) == 0:
+            bstats["rounds_empty"] = num_rounds
             return _empty_table(num_rounds)
         self._ensure_grid()
         cells_sorted, locals_sorted = self._bucket_listeners(rx)
-        in_tx = np.zeros(self._n, dtype=bool)
+
+        # One composite (round, cell) argsort for the whole schedule: every
+        # round's tile-sorted transmitter slice -- batched or not -- is a
+        # slice of this order (stable sort of round-major keys == the
+        # concatenation of per-round stable sorts).
+        round_sizes = np.diff(tx_indptr)
+        member_round = np.repeat(np.arange(num_rounds, dtype=np.int64), round_sizes)
+        ncells = np.int64(self._shape[0]) * np.int64(self._shape[1])  # type: ignore[index]
+        member_cells = self._cell_of[tx_members]
+        gorder = np.argsort(member_round * ncells + member_cells, kind="stable")
+        sorted_members = tx_members[gorder]
+        sorted_cells = member_cells[gorder]
+        sorted_rounds = member_round[gorder]
 
         out_rounds: List[np.ndarray] = []
         out_receivers: List[np.ndarray] = []
         out_senders: List[np.ndarray] = []
         out_sinr: List[np.ndarray] = []
-        for t in range(num_rounds):
-            lo, hi = int(tx_indptr[t]), int(tx_indptr[t + 1])
-            if lo == hi:
-                continue
-            tx_slice = tx_members[lo:hi]
-            in_tx[tx_slice] = True
-            recv, send, sinr = self._round_core(
-                tx_slice, rx, cells_sorted, locals_sorted, in_tx
-            )
-            in_tx[tx_slice] = False
-            if recv.size:
-                out_rounds.append(np.full(recv.size, t, dtype=np.int64))
-                out_receivers.append(rx[recv])
-                out_senders.append(send)
-                out_sinr.append(sinr)
+        if batch <= 1:
+            in_tx = np.zeros(self._n, dtype=bool)
+            for t in range(num_rounds):
+                lo, hi = int(tx_indptr[t]), int(tx_indptr[t + 1])
+                if lo == hi:
+                    bstats["rounds_empty"] += 1
+                    continue
+                tx_slice = tx_members[lo:hi]
+                in_tx[tx_slice] = True
+                recv, send, sinr = self._round_core(
+                    tx_slice, rx, cells_sorted, locals_sorted, in_tx,
+                    tx_sorted=sorted_members[lo:hi],
+                    tcell_sorted=sorted_cells[lo:hi],
+                )
+                in_tx[tx_slice] = False
+                bstats["rounds_single"] += 1
+                if recv.size:
+                    out_rounds.append(np.full(recv.size, t, dtype=np.int64))
+                    out_receivers.append(rx[recv])
+                    out_senders.append(send)
+                    out_sinr.append(sinr)
+        else:
+            for t0 in range(0, num_rounds, batch):
+                t1 = min(num_rounds, t0 + batch)
+                lo, hi = int(tx_indptr[t0]), int(tx_indptr[t1])
+                span = np.count_nonzero(round_sizes[t0:t1])
+                bstats["rounds_empty"] += (t1 - t0) - int(span)
+                if lo == hi:
+                    continue
+                bstats["batches"] += 1
+                bstats["rounds_fused"] += int(span)
+                rounds_abs, recv, send, sinr = self._batch_core(
+                    t0, t1, tx_indptr, tx_members,
+                    sorted_members[lo:hi],
+                    sorted_cells[lo:hi],
+                    sorted_rounds[lo:hi] - t0,
+                    rx, cells_sorted, locals_sorted,
+                )
+                if recv.size:
+                    out_rounds.append(rounds_abs)
+                    out_receivers.append(rx[recv])
+                    out_senders.append(send)
+                    out_sinr.append(sinr)
 
         if not out_rounds:
             return _empty_table(num_rounds)
